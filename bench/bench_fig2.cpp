@@ -1,0 +1,48 @@
+// Reproduces Figure 2 of the paper: number of implicants in a minimal SOP
+// (ESPRESSO) as a function of the complexity factor, for 10-input
+// single-output synthetic functions.
+//
+// Expected shape: ~512 implicants as C^f -> 0 (parity-like functions),
+// declining smoothly to 0 as C^f -> 1 (constant functions).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "espresso/espresso.hpp"
+#include "reliability/complexity.hpp"
+#include "synthetic/generator.hpp"
+
+int main() {
+  using namespace rdc;
+  bench::heading(
+      "Figure 2: SOP size vs complexity factor (10-input, 1-output)");
+  std::printf("%8s %10s %10s\n", "target", "C^f", "implicants");
+  std::printf("--------------------------------\n");
+
+  Rng rng(0xF162);
+  constexpr int kSeedsPerPoint = 3;
+  for (double target = 0.05; target < 1.0; target += 0.05) {
+    double cf_sum = 0.0;
+    double size_sum = 0.0;
+    for (int seed = 0; seed < kSeedsPerPoint; ++seed) {
+      SyntheticOptions options = options_for_target(10, 0.0, target);
+      options.tolerance = 0.01;
+      const TernaryTruthTable f = generate_function(options, rng);
+      cf_sum += complexity_factor(f);
+      size_sum += static_cast<double>(minimal_sop_size(f));
+    }
+    std::printf("%8.2f %10.3f %10.1f\n", target, cf_sum / kSeedsPerPoint,
+                size_sum / kSeedsPerPoint);
+  }
+
+  // Anchor points: the exact extremes of the paper's plot.
+  TernaryTruthTable parity(10);
+  for (std::uint32_t m = 0; m < parity.size(); ++m)
+    if (std::popcount(m) % 2) parity.set_phase(m, Phase::kOne);
+  std::printf("%8s %10.3f %10zu   (exact parity)\n", "0.00",
+              complexity_factor(parity), minimal_sop_size(parity));
+  const TernaryTruthTable constant(10);
+  std::printf("%8s %10.3f %10zu   (constant)\n", "1.00",
+              complexity_factor(constant), minimal_sop_size(constant));
+  return 0;
+}

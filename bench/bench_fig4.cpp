@@ -1,0 +1,49 @@
+// Reproduces Figure 4 of the paper: normalized error rate of each benchmark
+// as a function of the fraction of DCs assigned by the ranking-based
+// algorithm. Error rates are normalized to the fully conventional assignment
+// (fraction = 0), so curves start at 1.0 and decrease as more DCs are
+// assigned for reliability.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rdc;
+  bench::heading(
+      "Figure 4: Normalized error rate vs fraction of DCs assigned "
+      "(ranking-based)");
+
+  const std::vector<double> fractions{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  std::printf("%-8s", "Name");
+  for (const double f : fractions) std::printf(" %7.1f", f);
+  std::printf("\n--------------------------------------------------------\n");
+
+  std::vector<double> mean(fractions.size(), 0.0);
+  for (const IncompleteSpec& spec : bench::suite()) {
+    const double baseline =
+        run_flow(spec, DcPolicy::kConventional).error_rate;
+    std::printf("%-8s", spec.name().c_str());
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      FlowOptions options;
+      options.ranking_fraction = fractions[i];
+      const double rate =
+          run_flow(spec, DcPolicy::kRankingFraction, options).error_rate;
+      const double norm = bench::normalized(baseline, rate);
+      mean[i] += norm;
+      std::printf(" %7.3f", norm);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "mean");
+  for (double& m : mean) {
+    m /= static_cast<double>(bench::suite().size());
+    std::printf(" %7.3f", m);
+  }
+  std::printf("\n");
+  bench::note(
+      "\nExpected shape (paper): monotone decrease from 1.0; complete\n"
+      "reliability-driven assignment improves input-error resilience by up\n"
+      "to ~50% on DC-rich benchmarks.");
+  return 0;
+}

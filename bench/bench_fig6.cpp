@@ -1,0 +1,56 @@
+// Reproduces Figure 6 of the paper: normalized area versus normalized error
+// rate trajectories for families of 11-input, 11-output synthetic circuits
+// (DC-set = 60% of minterms), one family per complexity factor, as the
+// ranking-assigned fraction sweeps from 0 to 1.
+//
+// Expected trends (paper): high-C^f families show the largest error-rate
+// range and the largest area overheads; low-C^f families achieve
+// reliability gains with small or negative area overhead.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "synthetic/generator.hpp"
+
+int main() {
+  using namespace rdc;
+  bench::heading(
+      "Figure 6: Area vs error rate for synthetic benchmark families "
+      "(11-in, 11-out, 60% DC)");
+
+  const std::vector<double> families{0.35, 0.45, 0.55, 0.65, 0.80};
+  const std::vector<double> fractions{0.0, 0.25, 0.5, 0.75, 1.0};
+  constexpr int kFunctionsPerFamily = 4;  // paper used 10; 4 keeps runtime low
+  constexpr unsigned kInputs = 11;
+  constexpr unsigned kOutputs = 11;
+
+  Rng rng(0xF165);
+  for (const double family_cf : families) {
+    std::printf("\nFamily C^f = %.2f\n", family_cf);
+    std::printf("%8s %12s %12s\n", "fraction", "norm. area", "norm. error");
+
+    std::vector<double> area_sum(fractions.size(), 0.0);
+    std::vector<double> error_sum(fractions.size(), 0.0);
+    for (int k = 0; k < kFunctionsPerFamily; ++k) {
+      SyntheticOptions options = options_for_target(kInputs, 0.6, family_cf);
+      options.num_outputs = kOutputs;
+      options.tolerance = 0.01;
+      const IncompleteSpec spec = generate_spec(
+          "fig6_cf" + std::to_string(family_cf), options, rng);
+      const FlowResult baseline = run_flow(spec, DcPolicy::kConventional);
+      for (std::size_t i = 0; i < fractions.size(); ++i) {
+        FlowOptions fo;
+        fo.ranking_fraction = fractions[i];
+        const FlowResult r = run_flow(spec, DcPolicy::kRankingFraction, fo);
+        area_sum[i] += bench::normalized(baseline.stats.area, r.stats.area);
+        error_sum[i] += bench::normalized(baseline.error_rate, r.error_rate);
+      }
+    }
+    for (std::size_t i = 0; i < fractions.size(); ++i)
+      std::printf("%8.2f %12.3f %12.3f\n", fractions[i],
+                  area_sum[i] / kFunctionsPerFamily,
+                  error_sum[i] / kFunctionsPerFamily);
+  }
+  return 0;
+}

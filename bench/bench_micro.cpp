@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) for the computational kernels:
+// ESPRESSO minimization, DC-assignment passes, exact error analysis, BDD
+// construction and the mapper. These track the cost of the building blocks
+// the experiment harnesses are made of.
+#include <benchmark/benchmark.h>
+
+#include "aig/balance.hpp"
+#include "bdd/bdd_ops.hpp"
+#include "common/rng.hpp"
+#include "espresso/espresso.hpp"
+#include "espresso/exact.hpp"
+#include "flow/synthesis_flow.hpp"
+#include "mapper/tree_map.hpp"
+#include "reliability/assignment.hpp"
+#include "reliability/complexity.hpp"
+#include "reliability/error_rate.hpp"
+#include "sat/equivalence.hpp"
+#include "sop/extract.hpp"
+#include "sop/factor.hpp"
+
+namespace {
+
+using namespace rdc;
+
+TernaryTruthTable random_ternary(unsigned n, double dc, std::uint64_t seed) {
+  Rng rng(seed);
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (rng.flip(dc))
+      f.set_phase(m, Phase::kDc);
+    else
+      f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  }
+  return f;
+}
+
+void BM_EspressoMinimize(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 77);
+  for (auto _ : state) benchmark::DoNotOptimize(minimize(f));
+}
+BENCHMARK(BM_EspressoMinimize)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_RankingAssign(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 78);
+  for (auto _ : state) {
+    TernaryTruthTable g = f;
+    benchmark::DoNotOptimize(ranking_assign(g, 1.0));
+  }
+}
+BENCHMARK(BM_RankingAssign)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_LcfAssign(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 79);
+  for (auto _ : state) {
+    TernaryTruthTable g = f;
+    benchmark::DoNotOptimize(lcf_assign(g, 0.55));
+  }
+}
+BENCHMARK(BM_LcfAssign)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_ExactErrorBounds(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 80);
+  for (auto _ : state) benchmark::DoNotOptimize(exact_error_bounds(f));
+}
+BENCHMARK(BM_ExactErrorBounds)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_ComplexityFactor(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 81);
+  for (auto _ : state) benchmark::DoNotOptimize(complexity_factor(f));
+}
+BENCHMARK(BM_ComplexityFactor)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_BddFromTruthTable(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 82);
+  for (auto _ : state) {
+    BddManager mgr(n);
+    benchmark::DoNotOptimize(to_symbolic(mgr, f));
+  }
+}
+BENCHMARK(BM_BddFromTruthTable)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SymbolicBorders(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 83);
+  BddManager mgr(n);
+  const SymbolicSpec sym = to_symbolic(mgr, f);
+  for (auto _ : state) benchmark::DoNotOptimize(symbolic_borders(mgr, sym));
+}
+BENCHMARK(BM_SymbolicBorders)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_MapAig(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.0, 84);
+  Aig aig(n);
+  aig.add_output(aig.build(factor(minimize(f))));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(map_aig(aig, CellLibrary::generic70()));
+}
+BENCHMARK(BM_MapAig)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ExactMinimize(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.4, 86);
+  for (auto _ : state) benchmark::DoNotOptimize(exact_minimize(f));
+}
+BENCHMARK(BM_ExactMinimize)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_SatEquivalence(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.0, 87);
+  Aig a(n);
+  a.add_output(a.build(factor(minimize(f))));
+  const Aig b = balance(a);
+  for (auto _ : state) benchmark::DoNotOptimize(check_equivalence(a, b));
+}
+BENCHMARK(BM_SatEquivalence)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_KernelExtraction(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  std::vector<Cover> covers;
+  for (int o = 0; o < 4; ++o)
+    covers.push_back(minimize(random_ternary(n, 0.3, 88 + o)));
+  for (auto _ : state) {
+    Aig aig(n);
+    benchmark::DoNotOptimize(build_with_extraction(aig, covers));
+  }
+}
+BENCHMARK(BM_KernelExtraction)->Arg(6)->Arg(8);
+
+void BM_FullFlow(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  Rng rng(85);
+  IncompleteSpec spec("bm", n, 4);
+  for (auto& f : spec.outputs()) f = random_ternary(n, 0.6, rng());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_flow(spec, DcPolicy::kLcfThreshold));
+}
+BENCHMARK(BM_FullFlow)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Ablation D: does the single-bit optimization generalize to multi-bit
+// input errors?
+//
+// The paper's model assumes single-bit errors dominate ("the relative
+// occurrence of single-bit errors will far exceed that of multi-bit
+// errors") and all algorithms optimize k = 1. This harness measures the
+// realized k = 1 and k = 2 error rates of the conventional and
+// fully-reliability-assigned implementations, plus a Monte-Carlo
+// cross-check of the enumerative rates.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "reliability/sampling.hpp"
+
+int main() {
+  using namespace rdc;
+  bench::heading("Ablation D: multi-bit input errors (k = 1 vs k = 2)");
+  std::printf("%-8s | %8s %8s %7s | %8s %8s %7s | %8s\n", "Name", "conv k1",
+              "rel k1", "impr%", "conv k2", "rel k2", "impr%", "MC k1 err");
+  std::printf(
+      "---------------------------------------------------------------------"
+      "--------\n");
+
+  Rng rng(0xD00D);
+  double impr1 = 0.0;
+  double impr2 = 0.0;
+  for (const IncompleteSpec& spec : bench::suite()) {
+    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
+    const FlowResult reliability =
+        run_flow(spec, DcPolicy::kAllReliability);
+
+    const double c1 = conventional.error_rate;
+    const double r1 = reliability.error_rate;
+    const double c2 =
+        exact_error_rate_kbit(conventional.implementation, spec, 2);
+    const double r2 =
+        exact_error_rate_kbit(reliability.implementation, spec, 2);
+    const double i1 = bench::improvement_percent(c1, r1);
+    const double i2 = bench::improvement_percent(c2, r2);
+    impr1 += i1;
+    impr2 += i2;
+
+    // Monte-Carlo agreement check on the k = 1 conventional rate.
+    const double mc = sampled_error_rate(conventional.implementation, spec,
+                                         1, 20000, rng);
+    std::printf("%-8s | %8.4f %8.4f %7.1f | %8.4f %8.4f %7.1f | %8.4f\n",
+                spec.name().c_str(), c1, r1, i1, c2, r2, i2, mc - c1);
+  }
+  const double n = static_cast<double>(bench::suite().size());
+  std::printf("%-8s | %8s %8s %7.1f | %8s %8s %7.1f |\n", "mean", "", "",
+              impr1 / n, "", "", impr2 / n);
+  bench::note(
+      "\nExpected: the k = 1-optimized assignment keeps a substantial (if\n"
+      "smaller) advantage under k = 2 errors, and the Monte-Carlo column\n"
+      "(sampled minus exact) stays within ~2 standard errors of zero.");
+  return 0;
+}

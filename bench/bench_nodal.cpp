@@ -1,0 +1,94 @@
+// Section-4 extension: nodal decomposition with internal don't-care
+// reassignment. Multi-level networks are decomposed into fanout-free nodes,
+// satisfiability DCs are extracted per node, reassigned with the LC^f
+// algorithm, and the nodes are resynthesized. Reported per benchmark:
+// AND-node count before/after, SDC statistics, and the Monte-Carlo internal
+// masking rate before/after (fraction of internal single-node flips that
+// reach an output; lower = more masking).
+#include <cstdio>
+
+#include "aig/aig.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "decomp/odc.hpp"
+#include "decomp/renode.hpp"
+#include "espresso/espresso.hpp"
+#include "sop/factor.hpp"
+
+namespace {
+
+rdc::Aig build_network(const rdc::IncompleteSpec& spec) {
+  using namespace rdc;
+  IncompleteSpec assigned = spec;
+  conventional_assign(assigned);
+  Aig aig(spec.num_inputs());
+  for (const auto& f : assigned.outputs())
+    aig.add_output(aig.build(factor(minimize(f))));
+  return aig;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rdc;
+  bench::heading(
+      "Extension (Sec. 4): nodal decomposition + internal DC reassignment");
+  std::printf("%-8s %7s %7s | %6s %6s | %7s %8s %8s\n", "Name", "ANDs",
+              "ANDs'", "nodes", "resyn", "SDCs", "mask0", "mask1");
+  std::printf(
+      "----------------------------------------------------------------------\n");
+
+  constexpr unsigned kSamples = 2000;
+  // The largest suite entries make exhaustive per-node extraction slow;
+  // the technique is demonstrated on the small/medium benchmarks.
+  for (const char* name :
+       {"bench", "fout", "p3", "p1", "exp", "test4", "ex1010", "exam"}) {
+    const IncompleteSpec spec = make_benchmark(name);
+    const Aig original = build_network(spec);
+
+    const RenodeResult result = renode_and_assign(original);
+
+    Rng rng0(1234);
+    Rng rng1(1234);
+    const double mask_before = internal_error_rate(original, kSamples, rng0);
+    const double mask_after =
+        internal_error_rate(result.network, kSamples, rng1);
+
+    std::printf("%-8s %7zu %7zu | %6zu %6zu | %7llu %8.3f %8.3f\n", name,
+                original.num_ands(), result.network.num_ands(),
+                result.nodes_total, result.nodes_resynthesized,
+                static_cast<unsigned long long>(result.sdc_patterns),
+                mask_before, mask_after);
+  }
+  bench::note(
+      "\nmask0/mask1: fraction of injected internal errors that propagate\n"
+      "to an output before/after the rewrite. SDC-only rewrites preserve\n"
+      "all primary outputs exactly (verified by the test suite).");
+
+  // Second table: the full SDC ∪ ODC variant (one node per pass; see
+  // decomp/odc.hpp) on the smaller circuits.
+  std::printf("\nWith observability DCs (iterative, budget 24 rewrites):\n");
+  std::printf("%-8s %7s %7s | %6s %7s %7s | %8s %8s\n", "Name", "ANDs",
+              "ANDs'", "rewr", "SDCs", "ODCs", "mask0", "mask1");
+  std::printf(
+      "----------------------------------------------------------------------\n");
+  for (const char* name : {"bench", "fout", "p3", "exp"}) {
+    const IncompleteSpec spec = make_benchmark(name);
+    const Aig original = build_network(spec);
+    OdcRenodeOptions options;
+    options.max_rewrites = 24;
+    const OdcRenodeResult result = renode_with_odcs(original, options);
+    Rng rng0(1234);
+    Rng rng1(1234);
+    const double mask_before = internal_error_rate(original, kSamples, rng0);
+    const double mask_after =
+        internal_error_rate(result.network, kSamples, rng1);
+    std::printf("%-8s %7zu %7zu | %6u %7llu %7llu | %8.3f %8.3f\n", name,
+                original.num_ands(), result.network.num_ands(),
+                result.rewrites,
+                static_cast<unsigned long long>(result.sdc_patterns),
+                static_cast<unsigned long long>(result.odc_patterns),
+                mask_before, mask_after);
+  }
+  return 0;
+}

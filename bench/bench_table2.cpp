@@ -1,0 +1,77 @@
+// Reproduces Table 2 of the paper: complexity-factor-based assignment
+// results. For every benchmark, three reliability-driven policies are
+// compared against fully conventional assignment:
+//   * LC^f-based  (Fig. 7, threshold in the paper's 0.45-0.65 band),
+//   * ranking-based at the SAME fraction of DCs assigned (the paper's
+//     equal-fraction protocol), and
+//   * complete reliability-driven assignment.
+// Reported numbers are percent improvements (negative = overhead) in mapped
+// area and in exact input-error rate.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "reliability/assignment.hpp"
+#include "reliability/complexity.hpp"
+#include "reliability/error_rate.hpp"
+
+int main() {
+  using namespace rdc;
+  constexpr double kThreshold = 0.55;
+
+  bench::heading("Table 2: Complexity-factor-based assignment results");
+  std::printf("%-8s %5s | %6s | %7s %7s | %7s %7s | %7s %7s\n", "Name",
+              "i/o", "C^f", "LCarea", "LCer", "RKarea", "RKer", "CParea",
+              "CPer");
+  std::printf(
+      "----------------------------------------------------------------------\n");
+
+  for (const IncompleteSpec& spec : bench::suite()) {
+    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
+
+    // LC^f-based.
+    FlowOptions lcf_options;
+    lcf_options.lcf_threshold = kThreshold;
+    const FlowResult lcf = run_flow(spec, DcPolicy::kLcfThreshold,
+                                    lcf_options);
+
+    // Ranking-based at the same per-output fraction as the LC^f pass.
+    // run_flow sees the pre-assigned spec, so its error_rate field would be
+    // measured against the enlarged care set; recompute against the
+    // original specification.
+    IncompleteSpec ranked = spec;
+    for (unsigned o = 0; o < spec.num_outputs(); ++o) {
+      IncompleteSpec probe = spec;
+      const AssignmentResult r =
+          lcf_assign(probe.output(o), kThreshold);
+      ranking_assign_count(ranked.output(o), r.assigned);
+    }
+    FlowResult ranking = run_flow(ranked, DcPolicy::kConventional);
+    ranking.error_rate = exact_error_rate(ranking.implementation, spec);
+
+    // Complete reliability-driven assignment.
+    const FlowResult complete = run_flow(spec, DcPolicy::kAllReliability);
+
+    const auto area_impr = [&](const FlowResult& r) {
+      return bench::improvement_percent(conventional.stats.area,
+                                        r.stats.area);
+    };
+    const auto er_impr = [&](const FlowResult& r) {
+      return bench::improvement_percent(conventional.error_rate,
+                                        r.error_rate);
+    };
+    std::printf(
+        "%-8s %2u/%-2u | %6.3f | %7.1f %7.1f | %7.1f %7.1f | %7.1f %7.1f\n",
+        spec.name().c_str(), spec.num_inputs(), spec.num_outputs(),
+        complexity_factor(spec), area_impr(lcf), er_impr(lcf),
+        area_impr(ranking), er_impr(ranking), area_impr(complete),
+        er_impr(complete));
+  }
+  bench::note(
+      "\nColumns: percent improvement over conventional assignment\n"
+      "(negative = overhead). LC = LC^f-based (threshold 0.55), RK =\n"
+      "ranking-based at the equal fraction, CP = complete reliability\n"
+      "assignment. Expected shape (paper): LC^f-based achieves reliability\n"
+      "gains with the smallest area penalty; complete assignment maximizes\n"
+      "reliability at large area overheads.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 3 of the paper: min-max reliability estimates.
+// For every benchmark: mapped gate count, exact [min, max] error-rate
+// bounds, the signal-probability-based estimate, the border-based estimate,
+// the realized error rate under conventional assignment (with % distance
+// from the exact minimum), and the realized rate under LC^f-based
+// assignment (with % distance).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "reliability/error_rate.hpp"
+#include "reliability/estimates.hpp"
+
+int main() {
+  using namespace rdc;
+  bench::heading("Table 3: Min-max reliability estimates");
+  std::printf(
+      "%-8s %6s | %6s %6s | %6s %6s | %6s %6s | %6s %7s | %6s %7s\n", "Name",
+      "Gates", "ExMin", "ExMax", "SigMn", "SigMx", "BrdMn", "BrdMx", "Conv",
+      "%Diff", "LCf", "%Diff");
+  std::printf(
+      "--------------------------------------------------------------------"
+      "-----------------\n");
+
+  double conv_diff_sum = 0.0;
+  double lcf_diff_sum = 0.0;
+  for (const IncompleteSpec& spec : bench::suite()) {
+    const RateBounds exact = exact_error_bounds(spec);
+    const EstimatedBounds signal = signal_probability_bounds(spec);
+    const EstimatedBounds border = border_bounds(spec);
+
+    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
+    const FlowResult lcf = run_flow(spec, DcPolicy::kLcfThreshold);
+
+    const auto pct_diff = [&](double rate) {
+      return exact.min > 0.0 ? (rate - exact.min) / exact.min * 100.0 : 0.0;
+    };
+    const double conv_diff = pct_diff(conventional.error_rate);
+    const double lcf_diff = pct_diff(lcf.error_rate);
+    conv_diff_sum += conv_diff;
+    lcf_diff_sum += lcf_diff;
+
+    std::printf(
+        "%-8s %6zu | %6.3f %6.3f | %6.3f %6.3f | %6.3f %6.3f | %6.3f %7.1f "
+        "| %6.3f %7.1f\n",
+        spec.name().c_str(), conventional.stats.gates, exact.min, exact.max,
+        signal.min, signal.max, border.min, border.max,
+        conventional.error_rate, conv_diff, lcf.error_rate, lcf_diff);
+  }
+  const double count = static_cast<double>(bench::suite().size());
+  std::printf("%-8s %6s | %6s %6s | %6s %6s | %6s %6s | %6s %7.1f | %6s %7.1f\n",
+              "Average", "", "", "", "", "", "", "", "", conv_diff_sum / count,
+              "", lcf_diff_sum / count);
+  bench::note(
+      "\nExpected shape (paper): signal-based estimates consistently\n"
+      "overshoot the exact rates; border-based estimates contain the exact\n"
+      "bounds; LC^f-based assignment lands closer to the exact minimum than\n"
+      "conventional assignment on average.");
+  return 0;
+}

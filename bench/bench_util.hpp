@@ -1,0 +1,40 @@
+// Shared helpers for the experiment harnesses: suite access with in-process
+// caching, fixed-width table printing, and normalization utilities.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchdata/suite.hpp"
+#include "flow/synthesis_flow.hpp"
+
+namespace rdc::bench {
+
+/// The Table-1 suite, generated once per process.
+inline const std::vector<IncompleteSpec>& suite() {
+  static const std::vector<IncompleteSpec> instance = table1_suite();
+  return instance;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Percent improvement of `value` relative to `baseline` (positive = better
+/// = smaller), matching the sign convention of the paper's Table 2.
+inline double improvement_percent(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - value) / baseline * 100.0;
+}
+
+/// value / baseline, guarding the degenerate baseline.
+inline double normalized(double baseline, double value) {
+  return baseline == 0.0 ? 1.0 : value / baseline;
+}
+
+}  // namespace rdc::bench

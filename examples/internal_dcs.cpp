@@ -1,0 +1,64 @@
+// Example: the Section-4 extension on a multi-level network.
+//
+// Builds a conventionally synthesized circuit, decomposes it into nodes,
+// extracts the internal (satisfiability) don't cares of each node, assigns
+// them with the reliability-driven LC^f algorithm, and reports structure
+// and internal-masking changes.
+//
+//   ./internal_dcs [benchmark-name]   (default: test4)
+#include <cstdio>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "benchdata/suite.hpp"
+#include "common/rng.hpp"
+#include "decomp/renode.hpp"
+#include "espresso/espresso.hpp"
+#include "mapper/power.hpp"
+#include "mapper/tree_map.hpp"
+#include "sop/factor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdc;
+  const std::string name = argc > 1 ? argv[1] : "test4";
+
+  IncompleteSpec spec = make_benchmark(name);
+  conventional_assign(spec);
+
+  Aig aig(spec.num_inputs());
+  for (const auto& f : spec.outputs())
+    aig.add_output(aig.build(factor(minimize(f))));
+  std::printf("'%s' conventional network: %zu AND nodes, depth %u\n",
+              name.c_str(), aig.num_ands(), aig.depth());
+
+  for (const bool reliability : {false, true}) {
+    RenodeOptions options;
+    options.reliability_assign = reliability;
+    const RenodeResult result = renode_and_assign(aig, options);
+
+    const CellLibrary& lib = CellLibrary::generic70();
+    const NetlistStats stats =
+        analyze_netlist(map_aig(result.network, lib), lib);
+
+    Rng rng(42);
+    const double masking =
+        internal_error_rate(result.network, 3000, rng);
+
+    std::printf(
+        "\nrenode (%s):\n"
+        "  nodes visited %zu, resynthesized %zu\n"
+        "  internal DC patterns found %llu, reliability-assigned %llu\n"
+        "  network: %zu ANDs -> mapped %zu gates, area %.1f um^2\n"
+        "  internal error propagation rate: %.3f\n",
+        reliability ? "SDC + LC^f reliability assignment"
+                    : "SDC minimization only",
+        result.nodes_total, result.nodes_resynthesized,
+        static_cast<unsigned long long>(result.sdc_patterns),
+        static_cast<unsigned long long>(result.dcs_assigned),
+        result.network.num_ands(), stats.gates, stats.area, masking);
+  }
+  std::printf(
+      "\nSDC-only rewrites preserve every primary output exactly; the\n"
+      "reliability variant trades some area for higher internal masking.\n");
+  return 0;
+}

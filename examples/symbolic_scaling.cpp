@@ -1,0 +1,93 @@
+// Example: reliability analysis beyond the truth-table limit.
+//
+// Every per-minterm algorithm in the library tops out at 20 inputs, but the
+// Section-5 estimates only need aggregate statistics — signal probabilities
+// and border counts — and those are sat-counts of BDD intersections with
+// 1-bit-shifted sets. This example analyses a 24-input incompletely
+// specified function entirely symbolically: on/DC sets built from random
+// cube covers as BDDs, exact complexity factor, border counts, base error
+// and the two analytical error-bound estimates, with no 2^24 enumeration
+// anywhere.
+#include <cstdio>
+
+#include "bdd/bdd.hpp"
+#include "bdd/bdd_ops.hpp"
+#include "common/rng.hpp"
+#include "reliability/estimates.hpp"
+
+namespace {
+
+using namespace rdc;
+
+/// Random cube as a conjunction of k literals over n BDD variables.
+BddEdge random_cube(BddManager& mgr, unsigned n, unsigned literals,
+                    Rng& rng) {
+  BddEdge cube = mgr.one();
+  for (unsigned j = 0; j < literals; ++j) {
+    const auto var = static_cast<unsigned>(rng.below(n));
+    const BddEdge lit =
+        rng.flip(0.5) ? mgr.var(var) : !mgr.var(var);
+    cube = mgr.bdd_and(cube, lit);
+  }
+  return cube;
+}
+
+BddEdge random_cover(BddManager& mgr, unsigned n, unsigned cubes,
+                     unsigned literals, Rng& rng) {
+  BddEdge cover = mgr.zero();
+  for (unsigned c = 0; c < cubes; ++c)
+    cover = mgr.bdd_or(cover, random_cube(mgr, n, literals, rng));
+  return cover;
+}
+
+}  // namespace
+
+int main() {
+  constexpr unsigned kInputs = 24;
+  BddManager mgr(kInputs);
+  Rng rng(0x5CA1AB1E);
+
+  // An incompletely specified function from random covers: a structured
+  // ON cover and a generous DC cover (minus the ON overlap).
+  SymbolicSpec spec;
+  spec.on = random_cover(mgr, kInputs, 40, 10, rng);
+  const BddEdge dc_raw = random_cover(mgr, kInputs, 60, 6, rng);
+  spec.dc = mgr.bdd_and(dc_raw, !spec.on);
+  spec.off = mgr.bdd_and(!spec.on, !spec.dc);
+
+  const double size = 16777216.0;  // 2^24
+  const double f1 = mgr.sat_count(spec.on) / size;
+  const double fdc = mgr.sat_count(spec.dc) / size;
+  const double f0 = 1.0 - f1 - fdc;
+  std::printf("24-input symbolic function (no truth table anywhere):\n");
+  std::printf("  on/off/DC fractions : %.4f / %.4f / %.4f\n", f1, f0, fdc);
+  std::printf("  BDD nodes           : on %zu, dc %zu\n",
+              mgr.node_count(spec.on), mgr.node_count(spec.dc));
+
+  const double cf = symbolic_complexity_factor(mgr, spec);
+  std::printf("  complexity factor   : %.4f (E[C^f] = %.4f)\n", cf,
+              f0 * f0 + f1 * f1 + fdc * fdc);
+
+  const BorderCounts borders = symbolic_borders(mgr, spec);
+  std::printf("  borders b0/b1/bDC   : %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(borders.b0),
+              static_cast<unsigned long long>(borders.b1),
+              static_cast<unsigned long long>(borders.bdc));
+
+  const double base = symbolic_base_error(mgr, spec) / (kInputs * size);
+  std::printf("  exact base error    : %.5f (rate, n*2^n scale)\n", base);
+
+  const EstimatedBounds signal =
+      signal_probability_bounds_from_stats(kInputs, f0, f1, fdc);
+  const EstimatedBounds border =
+      border_bounds_from_stats(kInputs, f0, f1, fdc, borders);
+  std::printf("  signal-model bounds : [%.4f, %.4f]\n", signal.min,
+              signal.max);
+  std::printf("  border-model bounds : [%.4f, %.4f]\n", border.min,
+              border.max);
+  std::printf(
+      "\nThe border model starts from the exact base error; its min/max add\n"
+      "the Poisson estimate of what optimal/worst DC assignment could do —\n"
+      "the decision data a designer needs before paying for assignment.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rdc {
+
+Aig::Aig(unsigned num_inputs) : num_inputs_(num_inputs) {
+  nodes_.resize(1 + num_inputs);  // constant node + inputs
+}
+
+std::uint32_t Aig::make_and(std::uint32_t a, std::uint32_t b) {
+  using namespace aiglit;
+  // Constant folding and trivial cases.
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a == negate(b)) return kFalse;
+
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = strash_.find(key); it != strash_.end())
+    return make(it->second, false);
+
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  strash_.emplace(key, node);
+  return make(node, false);
+}
+
+std::uint32_t Aig::build(const FactorTree& tree) {
+  std::vector<std::uint32_t> inputs;
+  inputs.reserve(num_inputs_);
+  for (unsigned i = 0; i < num_inputs_; ++i)
+    inputs.push_back(input_literal(i));
+  return build(tree, inputs);
+}
+
+std::uint32_t Aig::build(const FactorTree& tree,
+                         const std::vector<std::uint32_t>& leaves) {
+  using namespace aiglit;
+  switch (tree.kind) {
+    case FactorTree::Kind::kConst0:
+      return kFalse;
+    case FactorTree::Kind::kConst1:
+      return kTrue;
+    case FactorTree::Kind::kLiteral:
+      if (tree.var >= leaves.size())
+        throw std::out_of_range("FactorTree literal beyond leaf list");
+      return tree.positive ? leaves[tree.var] : negate(leaves[tree.var]);
+    case FactorTree::Kind::kAnd: {
+      std::uint32_t acc = kTrue;
+      for (const FactorTree& child : tree.children)
+        acc = make_and(acc, build(child, leaves));
+      return acc;
+    }
+    case FactorTree::Kind::kOr: {
+      std::uint32_t acc = kFalse;
+      for (const FactorTree& child : tree.children)
+        acc = make_or(acc, build(child, leaves));
+      return acc;
+    }
+  }
+  return kFalse;
+}
+
+unsigned Aig::add_output(std::uint32_t lit) {
+  outputs_.push_back(lit);
+  return static_cast<unsigned>(outputs_.size() - 1);
+}
+
+std::vector<unsigned> Aig::levels() const {
+  std::vector<unsigned> level(nodes_.size(), 0);
+  // Nodes are created in topological order (fanins precede the node).
+  for (std::uint32_t node = static_cast<std::uint32_t>(num_inputs_) + 1;
+       node < nodes_.size(); ++node) {
+    const unsigned l0 = level[aiglit::node_of(nodes_[node].fanin0)];
+    const unsigned l1 = level[aiglit::node_of(nodes_[node].fanin1)];
+    level[node] = 1 + std::max(l0, l1);
+  }
+  return level;
+}
+
+unsigned Aig::depth() const {
+  const std::vector<unsigned> level = levels();
+  unsigned depth = 0;
+  for (std::uint32_t out : outputs_)
+    depth = std::max(depth, level[aiglit::node_of(out)]);
+  return depth;
+}
+
+std::vector<unsigned> Aig::fanout_counts() const {
+  std::vector<unsigned> fanout(nodes_.size(), 0);
+  for (std::uint32_t node = static_cast<std::uint32_t>(num_inputs_) + 1;
+       node < nodes_.size(); ++node) {
+    ++fanout[aiglit::node_of(nodes_[node].fanin0)];
+    ++fanout[aiglit::node_of(nodes_[node].fanin1)];
+  }
+  for (std::uint32_t out : outputs_) ++fanout[aiglit::node_of(out)];
+  return fanout;
+}
+
+}  // namespace rdc

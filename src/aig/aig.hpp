@@ -1,0 +1,105 @@
+// Structurally hashed and-inverter graphs.
+//
+// The AIG is the technology-independent network representation of the
+// synthesis flow: factored forms are lowered onto it (sharing recovered by
+// structural hashing), balance optimizes depth, and the mapper covers it
+// with standard cells. Edges are literals: 2*node + complement-bit.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sop/factor.hpp"
+
+namespace rdc {
+
+/// Literal helpers (node index + complement bit, AIGER convention).
+namespace aiglit {
+constexpr std::uint32_t kFalse = 0;
+constexpr std::uint32_t kTrue = 1;
+constexpr std::uint32_t make(std::uint32_t node, bool complemented) {
+  return (node << 1) | (complemented ? 1u : 0u);
+}
+constexpr std::uint32_t node_of(std::uint32_t lit) { return lit >> 1; }
+constexpr bool is_complemented(std::uint32_t lit) { return lit & 1u; }
+constexpr std::uint32_t negate(std::uint32_t lit) { return lit ^ 1u; }
+}  // namespace aiglit
+
+class Aig {
+ public:
+  /// Creates an AIG with `num_inputs` primary inputs (nodes 1..num_inputs).
+  explicit Aig(unsigned num_inputs);
+
+  unsigned num_inputs() const { return num_inputs_; }
+
+  /// Literal of primary input i (0-based).
+  std::uint32_t input_literal(unsigned i) const {
+    return aiglit::make(1 + i, false);
+  }
+
+  /// Strashed AND with constant folding; returns an existing node when the
+  /// (ordered) fanin pair was seen before.
+  std::uint32_t make_and(std::uint32_t a, std::uint32_t b);
+  std::uint32_t make_or(std::uint32_t a, std::uint32_t b) {
+    return aiglit::negate(
+        make_and(aiglit::negate(a), aiglit::negate(b)));
+  }
+  std::uint32_t make_xor(std::uint32_t a, std::uint32_t b) {
+    return make_or(make_and(a, aiglit::negate(b)),
+                   make_and(aiglit::negate(a), b));
+  }
+
+  /// Lowers a factored expression tree; returns its output literal.
+  std::uint32_t build(const FactorTree& tree);
+
+  /// Lowers a tree whose literal index v refers to `leaves[v]` (an existing
+  /// AIG literal) instead of primary input v. Used when splicing
+  /// resynthesized nodes back into a network.
+  std::uint32_t build(const FactorTree& tree,
+                      const std::vector<std::uint32_t>& leaves);
+
+  /// Registers an output; returns its index.
+  unsigned add_output(std::uint32_t lit);
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  /// Number of AND nodes (the standard AIG size measure).
+  std::size_t num_ands() const { return nodes_.size() - 1 - num_inputs_; }
+
+  /// Total node count including constant and inputs.
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  bool is_input(std::uint32_t node) const {
+    return node >= 1 && node <= num_inputs_;
+  }
+  bool is_and(std::uint32_t node) const { return node > num_inputs_; }
+
+  std::uint32_t fanin0(std::uint32_t node) const {
+    return nodes_[node].fanin0;
+  }
+  std::uint32_t fanin1(std::uint32_t node) const {
+    return nodes_[node].fanin1;
+  }
+
+  /// Logic depth of each node (inputs at 0); index by node.
+  std::vector<unsigned> levels() const;
+
+  /// Depth of the deepest output.
+  unsigned depth() const;
+
+  /// Number of node references from AND fanins and outputs; index by node.
+  std::vector<unsigned> fanout_counts() const;
+
+ private:
+  struct Node {
+    std::uint32_t fanin0 = 0;  // literals; 0/0 for inputs and the constant
+    std::uint32_t fanin1 = 0;
+  };
+
+  unsigned num_inputs_;
+  std::vector<Node> nodes_;  // node 0 = constant false
+  std::vector<std::uint32_t> outputs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+}  // namespace rdc

@@ -1,0 +1,15 @@
+// Depth-oriented AIG restructuring (ABC-style `balance`).
+//
+// Rebuilds every maximal AND-tree as a level-balanced tree (Huffman order on
+// fanin levels), which is the delay-optimization pass of the flow's
+// "compile for delay" mode.
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace rdc {
+
+/// Returns a functionally equivalent AIG with (weakly) smaller depth.
+Aig balance(const Aig& src);
+
+}  // namespace rdc

@@ -1,0 +1,88 @@
+#include "aig/simulate.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rdc {
+namespace {
+
+/// The i-th input's truth table word at word index w: classic bit-parallel
+/// input patterns (0101..., 0011..., ...).
+std::uint64_t input_pattern(unsigned input, std::size_t word) {
+  if (input < 6) {
+    static constexpr std::uint64_t kPatterns[6] = {
+        0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+        0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+    return kPatterns[input];
+  }
+  // For inputs >= 6 the pattern is constant per word: bit (input) of the
+  // word index selects all-ones vs all-zeros.
+  return (word >> (input - 6)) & 1u ? ~0ull : 0ull;
+}
+
+}  // namespace
+
+AigSimulator::AigSimulator(const Aig& aig) : aig_(aig) {
+  const unsigned n = aig.num_inputs();
+  if (n > TernaryTruthTable::kMaxInputs)
+    throw std::invalid_argument("AigSimulator: too many inputs");
+  num_vectors_ = num_minterms(n);
+  words_ = (num_vectors_ + 63) / 64;
+  tables_.resize(aig.num_nodes(), SimWords(words_, 0));
+
+  for (unsigned i = 0; i < n; ++i)
+    for (std::size_t w = 0; w < words_; ++w)
+      tables_[1 + i][w] = input_pattern(i, w);
+
+  for (std::uint32_t node = n + 1; node < aig.num_nodes(); ++node) {
+    const std::uint32_t f0 = aig.fanin0(node);
+    const std::uint32_t f1 = aig.fanin1(node);
+    const SimWords& t0 = tables_[aiglit::node_of(f0)];
+    const SimWords& t1 = tables_[aiglit::node_of(f1)];
+    const std::uint64_t inv0 = aiglit::is_complemented(f0) ? ~0ull : 0ull;
+    const std::uint64_t inv1 = aiglit::is_complemented(f1) ? ~0ull : 0ull;
+    SimWords& out = tables_[node];
+    for (std::size_t w = 0; w < words_; ++w)
+      out[w] = (t0[w] ^ inv0) & (t1[w] ^ inv1);
+  }
+}
+
+SimWords AigSimulator::literal_table(std::uint32_t lit) const {
+  SimWords t = tables_[aiglit::node_of(lit)];
+  if (aiglit::is_complemented(lit))
+    for (auto& w : t) w = ~w;
+  // Mask unused tail bits so popcounts stay exact.
+  const unsigned tail = num_vectors_ % 64;
+  if (tail != 0) t.back() &= (1ull << tail) - 1;
+  return t;
+}
+
+bool AigSimulator::literal_value(std::uint32_t lit,
+                                 std::uint32_t minterm) const {
+  const SimWords& t = tables_[aiglit::node_of(lit)];
+  const bool v = (t[minterm >> 6] >> (minterm & 63)) & 1u;
+  return v != aiglit::is_complemented(lit);
+}
+
+double AigSimulator::signal_probability(std::uint32_t lit) const {
+  const SimWords t = literal_table(lit);
+  std::uint64_t ones = 0;
+  for (std::uint64_t w : t) ones += std::popcount(w);
+  return static_cast<double>(ones) / num_vectors_;
+}
+
+TernaryTruthTable AigSimulator::output_table(unsigned o) const {
+  const std::uint32_t lit = aig_.outputs().at(o);
+  TernaryTruthTable tt(aig_.num_inputs());
+  for (std::uint32_t m = 0; m < num_vectors_; ++m)
+    if (literal_value(lit, m)) tt.set_phase(m, Phase::kOne);
+  return tt;
+}
+
+bool aig_output_equals(const Aig& aig, unsigned o,
+                       const TernaryTruthTable& expected) {
+  const AigSimulator sim(aig);
+  return sim.output_table(o) == expected;
+}
+
+}  // namespace rdc

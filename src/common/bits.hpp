@@ -1,0 +1,34 @@
+// Bit-manipulation helpers shared across rdcsyn.
+//
+// Minterms of an n-input Boolean function are identified with unsigned
+// integers in [0, 2^n); bit j of the index is the value of input x_j.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace rdc {
+
+/// Number of minterms of an n-input function. Valid for n <= 30.
+constexpr std::uint32_t num_minterms(unsigned n) {
+  assert(n <= 30);
+  return 1u << n;
+}
+
+/// Hamming distance between two minterm indices.
+constexpr unsigned hamming_distance(std::uint32_t a, std::uint32_t b) {
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+/// The 1-Hamming-distance neighbor of `m` obtained by flipping input `bit`.
+constexpr std::uint32_t flip_bit(std::uint32_t m, unsigned bit) {
+  return m ^ (1u << bit);
+}
+
+/// True iff `m` has input `bit` set to 1.
+constexpr bool test_bit(std::uint32_t m, unsigned bit) {
+  return (m >> bit) & 1u;
+}
+
+}  // namespace rdc

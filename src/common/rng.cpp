@@ -1,0 +1,7 @@
+#include "common/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// has a stable object for the module and to catch ODR issues early.
+namespace rdc {
+static_assert(Rng::min() == 0);
+}  // namespace rdc

@@ -1,0 +1,35 @@
+// Small statistics helpers used by the reliability estimates (Section 5 of
+// the paper) and by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rdc {
+
+/// Summary of a sample: min / max / mean, as reported in the paper's
+/// Figure 5 ("normalized min, max, and mean ... across all benchmarks").
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean of a (non-empty or empty) sample.
+Summary summarize(std::span<const double> values);
+
+/// Standard normal probability density function.
+double normal_pdf(double x);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// E|Z| for Z ~ N(mu, sigma^2) (mean of the folded normal distribution).
+double folded_normal_mean(double mu, double sigma);
+
+/// Poisson probability mass P(k; lambda) = lambda^k e^-lambda / k!.
+/// Computed in log space for robustness at large k/lambda.
+double poisson_pmf(unsigned k, double lambda);
+
+}  // namespace rdc

@@ -1,0 +1,42 @@
+#include "decomp/aig_eval.hpp"
+
+namespace rdc {
+
+std::vector<bool> evaluate_all(const Aig& aig, std::uint32_t minterm,
+                               std::int64_t override_node,
+                               bool override_value) {
+  using aiglit::is_complemented;
+  using aiglit::node_of;
+  std::vector<bool> value(aig.num_nodes(), false);
+  for (unsigned i = 0; i < aig.num_inputs(); ++i)
+    value[1 + i] = (minterm >> i) & 1u;
+  if (override_node >= 0 &&
+      static_cast<std::size_t>(override_node) <= aig.num_inputs())
+    value[static_cast<std::size_t>(override_node)] = override_value;
+  for (std::uint32_t node = aig.num_inputs() + 1; node < aig.num_nodes();
+       ++node) {
+    if (override_node == node) {
+      value[node] = override_value;
+      continue;
+    }
+    const std::uint32_t f0 = aig.fanin0(node);
+    const std::uint32_t f1 = aig.fanin1(node);
+    const bool v0 = value[node_of(f0)] != is_complemented(f0);
+    const bool v1 = value[node_of(f1)] != is_complemented(f1);
+    value[node] = v0 && v1;
+  }
+  return value;
+}
+
+std::vector<bool> output_values(const Aig& aig,
+                                const std::vector<bool>& node_values) {
+  using aiglit::is_complemented;
+  using aiglit::node_of;
+  std::vector<bool> outs;
+  outs.reserve(aig.outputs().size());
+  for (const std::uint32_t lit : aig.outputs())
+    outs.push_back(node_values[node_of(lit)] != is_complemented(lit));
+  return outs;
+}
+
+}  // namespace rdc

@@ -1,0 +1,22 @@
+// Scalar AIG evaluation with fault injection — shared by the
+// decomposition passes and the internal-masking metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace rdc {
+
+/// Node values of the whole AIG on one input vector, with an optional
+/// forced value on one node (for error injection / observability tests).
+std::vector<bool> evaluate_all(const Aig& aig, std::uint32_t minterm,
+                               std::int64_t override_node = -1,
+                               bool override_value = false);
+
+/// Output values extracted from an evaluate_all result.
+std::vector<bool> output_values(const Aig& aig,
+                                const std::vector<bool>& node_values);
+
+}  // namespace rdc

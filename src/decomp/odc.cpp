@@ -1,0 +1,225 @@
+#include "decomp/odc.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/simulate.hpp"
+#include "decomp/aig_eval.hpp"
+#include "espresso/espresso.hpp"
+#include "reliability/assignment.hpp"
+#include "sop/factor.hpp"
+
+namespace rdc {
+namespace {
+
+using aiglit::is_complemented;
+using aiglit::negate;
+using aiglit::node_of;
+
+/// One reconstruction pass: rewrites the first eligible root (in
+/// topological order, after skipping `skip_roots` of them) against its
+/// SDC ∪ ODC set; everything else is copied verbatim.
+class OdcPass {
+ public:
+  OdcPass(const Aig& aig, const OdcRenodeOptions& options,
+          unsigned skip_roots)
+      : aig_(aig),
+        options_(options),
+        skip_roots_(skip_roots),
+        sim_(aig),
+        dst_(aig.num_inputs()) {}
+
+  struct Outcome {
+    Aig network;
+    bool rewrote = false;
+    unsigned root_counter = 0;  ///< 1-based counter of the rewritten root
+    std::uint64_t sdc_patterns = 0;
+    std::uint64_t odc_patterns = 0;
+    std::uint64_t dcs_assigned = 0;
+  };
+
+  Outcome run() {
+    mark_roots();
+    Outcome outcome{Aig(aig_.num_inputs())};
+    unsigned counter = 0;
+    for (std::uint32_t node = aig_.num_inputs() + 1; node < aig_.num_nodes();
+         ++node) {
+      if (!is_root_[node]) continue;
+      ++counter;
+      if (!outcome.rewrote && counter > skip_roots_ &&
+          try_rewrite(node, counter, outcome))
+        continue;
+      mapping_[node] = copy_structural(node);
+    }
+    for (const std::uint32_t out : aig_.outputs())
+      dst_.add_output(map_literal(out));
+    outcome.network = std::move(dst_);
+    return outcome;
+  }
+
+ private:
+  void mark_roots() {
+    const std::vector<unsigned> fanout = aig_.fanout_counts();
+    is_root_.assign(aig_.num_nodes(), false);
+    for (std::uint32_t node = aig_.num_inputs() + 1; node < aig_.num_nodes();
+         ++node)
+      is_root_[node] = fanout[node] > 1;
+    for (const std::uint32_t out : aig_.outputs())
+      if (aig_.is_and(node_of(out))) is_root_[node_of(out)] = true;
+  }
+
+  std::vector<std::uint32_t> collect_leaves(std::uint32_t root) const {
+    std::vector<std::uint32_t> leaves;
+    std::vector<std::uint32_t> stack{root};
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t edge :
+           {aig_.fanin0(node), aig_.fanin1(node)}) {
+        const std::uint32_t child = node_of(edge);
+        if (aig_.is_and(child) && !is_root_[child]) {
+          stack.push_back(child);
+        } else if (std::find(leaves.begin(), leaves.end(), child) ==
+                   leaves.end()) {
+          leaves.push_back(child);
+        }
+      }
+    }
+    return leaves;
+  }
+
+  /// Local function with SDC ∪ ODC as the DC set, or nullopt if the node is
+  /// too wide or has no don't cares at all.
+  std::optional<TernaryTruthTable> extract_local(
+      std::uint32_t root, const std::vector<std::uint32_t>& leaves,
+      std::uint64_t& sdc, std::uint64_t& odc) const {
+    const unsigned k = static_cast<unsigned>(leaves.size());
+    TernaryTruthTable local(k);
+    for (std::uint32_t p = 0; p < local.size(); ++p)
+      local.set_phase(p, Phase::kDc);
+
+    // observable[p]: some vector producing pattern p sees the root at an
+    // output (flipping the root's value changes a PO).
+    std::vector<bool> observed(local.size(), false);
+    std::vector<bool> observable(local.size(), false);
+    for (std::uint32_t m = 0; m < sim_.num_vectors(); ++m) {
+      std::uint32_t pattern = 0;
+      for (unsigned i = 0; i < k; ++i)
+        if (sim_.literal_value(aiglit::make(leaves[i], false), m))
+          pattern |= 1u << i;
+      const bool root_value =
+          sim_.literal_value(aiglit::make(root, false), m);
+      local.set_phase(pattern, root_value ? Phase::kOne : Phase::kZero);
+      observed[pattern] = true;
+      if (!observable[pattern]) {
+        const std::vector<bool> base = evaluate_all(aig_, m);
+        const std::vector<bool> flipped =
+            evaluate_all(aig_, m, root, !base[root]);
+        if (output_values(aig_, base) != output_values(aig_, flipped))
+          observable[pattern] = true;
+      }
+    }
+    for (std::uint32_t p = 0; p < local.size(); ++p) {
+      if (!observed[p]) {
+        ++sdc;
+      } else if (!observable[p]) {
+        local.set_phase(p, Phase::kDc);  // observability DC
+        ++odc;
+      }
+    }
+    if (local.dc_count() == 0) return std::nullopt;
+    return local;
+  }
+
+  bool try_rewrite(std::uint32_t root, unsigned counter, Outcome& outcome) {
+    const std::vector<std::uint32_t> leaves = collect_leaves(root);
+    if (leaves.empty() || leaves.size() > options_.max_node_inputs)
+      return false;
+    std::uint64_t sdc = 0;
+    std::uint64_t odc = 0;
+    const auto local = extract_local(root, leaves, sdc, odc);
+    if (!local) return false;
+
+    TernaryTruthTable assigned = *local;
+    std::uint64_t dcs_assigned = 0;
+    if (options_.reliability_assign)
+      dcs_assigned = lcf_assign(assigned, options_.lcf_threshold).assigned;
+
+    const Cover cover = minimize(assigned);
+    std::vector<std::uint32_t> leaf_lits;
+    leaf_lits.reserve(leaves.size());
+    for (const std::uint32_t leaf : leaves)
+      leaf_lits.push_back(map_literal(aiglit::make(leaf, false)));
+    mapping_[root] = dst_.build(factor(cover), leaf_lits);
+
+    outcome.rewrote = true;
+    outcome.root_counter = counter;
+    outcome.sdc_patterns = sdc;
+    outcome.odc_patterns = odc;
+    outcome.dcs_assigned = dcs_assigned;
+    return true;
+  }
+
+  std::uint32_t map_literal(std::uint32_t lit) const {
+    const std::uint32_t node = node_of(lit);
+    std::uint32_t mapped;
+    if (node == 0) {
+      mapped = aiglit::kFalse;
+    } else if (!aig_.is_and(node)) {
+      mapped = dst_.input_literal(node - 1);
+    } else {
+      mapped = mapping_.at(node);
+    }
+    return is_complemented(lit) ? negate(mapped) : mapped;
+  }
+
+  std::uint32_t copy_structural(std::uint32_t root) {
+    return copy_edge(aiglit::make(root, false), root);
+  }
+
+  std::uint32_t copy_edge(std::uint32_t edge, std::uint32_t current_root) {
+    const std::uint32_t node = node_of(edge);
+    if (!aig_.is_and(node) || (is_root_[node] && node != current_root))
+      return map_literal(edge);
+    const std::uint32_t mapped =
+        dst_.make_and(copy_edge(aig_.fanin0(node), current_root),
+                      copy_edge(aig_.fanin1(node), current_root));
+    return is_complemented(edge) ? negate(mapped) : mapped;
+  }
+
+  const Aig& aig_;
+  OdcRenodeOptions options_;
+  unsigned skip_roots_;
+  AigSimulator sim_;
+  Aig dst_;
+  std::vector<bool> is_root_;
+  std::unordered_map<std::uint32_t, std::uint32_t> mapping_;
+};
+
+}  // namespace
+
+OdcRenodeResult renode_with_odcs(const Aig& aig,
+                                 const OdcRenodeOptions& options) {
+  if (aig.num_inputs() > TernaryTruthTable::kMaxInputs)
+    throw std::invalid_argument("renode_with_odcs: too many inputs");
+
+  OdcRenodeResult result{aig, 0, 0, 0, 0};
+  unsigned skip = 0;
+  while (result.rewrites < options.max_rewrites) {
+    OdcPass::Outcome outcome =
+        OdcPass(result.network, options, skip).run();
+    if (!outcome.rewrote) break;
+    ++result.rewrites;
+    result.sdc_patterns += outcome.sdc_patterns;
+    result.odc_patterns += outcome.odc_patterns;
+    result.dcs_assigned += outcome.dcs_assigned;
+    result.network = std::move(outcome.network);
+    skip = outcome.root_counter;
+  }
+  return result;
+}
+
+}  // namespace rdc

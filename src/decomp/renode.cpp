@@ -1,0 +1,182 @@
+#include "decomp/renode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/simulate.hpp"
+#include "decomp/aig_eval.hpp"
+#include "espresso/espresso.hpp"
+#include "reliability/assignment.hpp"
+#include "sop/factor.hpp"
+
+namespace rdc {
+namespace {
+
+using aiglit::is_complemented;
+using aiglit::negate;
+using aiglit::node_of;
+
+class Renoder {
+ public:
+  Renoder(const Aig& aig, const RenodeOptions& options)
+      : aig_(aig), options_(options), sim_(aig), dst_(aig.num_inputs()) {}
+
+  RenodeResult run() {
+    mark_roots();
+    RenodeResult result{Aig(aig_.num_inputs()), 0, 0, 0, 0};
+    for (std::uint32_t node = aig_.num_inputs() + 1; node < aig_.num_nodes();
+         ++node) {
+      if (!is_root_[node]) continue;
+      ++result.nodes_total;
+      process_root(node, result);
+    }
+    for (const std::uint32_t out : aig_.outputs())
+      dst_.add_output(map_literal(out));
+    result.network = std::move(dst_);
+    return result;
+  }
+
+ private:
+  void mark_roots() {
+    const std::vector<unsigned> fanout = aig_.fanout_counts();
+    is_root_.assign(aig_.num_nodes(), false);
+    for (std::uint32_t node = aig_.num_inputs() + 1; node < aig_.num_nodes();
+         ++node)
+      is_root_[node] = fanout[node] > 1;
+    for (const std::uint32_t out : aig_.outputs())
+      if (aig_.is_and(node_of(out))) is_root_[node_of(out)] = true;
+  }
+
+  /// Old literal -> new literal, for PIs, constants and processed roots.
+  std::uint32_t map_literal(std::uint32_t lit) const {
+    const std::uint32_t node = node_of(lit);
+    std::uint32_t mapped;
+    if (node == 0) {
+      mapped = aiglit::kFalse;
+    } else if (!aig_.is_and(node)) {
+      mapped = dst_.input_literal(node - 1);
+    } else {
+      mapped = mapping_.at(node);
+    }
+    return is_complemented(lit) ? negate(mapped) : mapped;
+  }
+
+  /// Boundary signal nodes of the tree rooted at `root` (distinct, in DFS
+  /// discovery order).
+  std::vector<std::uint32_t> collect_leaves(std::uint32_t root) const {
+    std::vector<std::uint32_t> leaves;
+    std::vector<std::uint32_t> stack{root};
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t edge :
+           {aig_.fanin0(node), aig_.fanin1(node)}) {
+        const std::uint32_t child = node_of(edge);
+        if (aig_.is_and(child) && !is_root_[child]) {
+          stack.push_back(child);
+        } else if (std::find(leaves.begin(), leaves.end(), child) ==
+                   leaves.end()) {
+          leaves.push_back(child);
+        }
+      }
+    }
+    return leaves;
+  }
+
+  void process_root(std::uint32_t root, RenodeResult& result) {
+    const std::vector<std::uint32_t> leaves = collect_leaves(root);
+    if (leaves.empty() || leaves.size() > options_.max_node_inputs) {
+      mapping_[root] = copy_structural(root);
+      return;
+    }
+
+    // Extract the local function over the boundary signals; patterns never
+    // produced by any primary-input vector are satisfiability DCs.
+    const unsigned k = static_cast<unsigned>(leaves.size());
+    TernaryTruthTable local(k);
+    for (std::uint32_t p = 0; p < local.size(); ++p)
+      local.set_phase(p, Phase::kDc);
+    for (std::uint32_t m = 0; m < sim_.num_vectors(); ++m) {
+      std::uint32_t pattern = 0;
+      for (unsigned i = 0; i < k; ++i)
+        if (sim_.literal_value(aiglit::make(leaves[i], false), m))
+          pattern |= 1u << i;
+      const bool root_value =
+          sim_.literal_value(aiglit::make(root, false), m);
+      local.set_phase(pattern, root_value ? Phase::kOne : Phase::kZero);
+    }
+
+    const std::uint32_t dc_count = local.dc_count();
+    result.sdc_patterns += dc_count;
+    if (dc_count == 0) {
+      // Fully observable node: nothing to reassign; keep structure.
+      mapping_[root] = copy_structural(root);
+      return;
+    }
+    if (options_.reliability_assign)
+      result.dcs_assigned += lcf_assign(local, options_.lcf_threshold).assigned;
+
+    const Cover cover = minimize(local);
+    std::vector<std::uint32_t> leaf_lits;
+    leaf_lits.reserve(leaves.size());
+    for (const std::uint32_t leaf : leaves)
+      leaf_lits.push_back(map_literal(aiglit::make(leaf, false)));
+    mapping_[root] = dst_.build(factor(cover), leaf_lits);
+    ++result.nodes_resynthesized;
+  }
+
+  /// Verbatim structural copy of the tree rooted at `root`.
+  std::uint32_t copy_structural(std::uint32_t root) {
+    return copy_edge(aiglit::make(root, false), root);
+  }
+
+  std::uint32_t copy_edge(std::uint32_t edge, std::uint32_t current_root) {
+    const std::uint32_t node = node_of(edge);
+    std::uint32_t mapped;
+    if (!aig_.is_and(node) || (is_root_[node] && node != current_root)) {
+      return map_literal(edge);
+    }
+    mapped = dst_.make_and(copy_edge(aig_.fanin0(node), current_root),
+                           copy_edge(aig_.fanin1(node), current_root));
+    return is_complemented(edge) ? negate(mapped) : mapped;
+  }
+
+  const Aig& aig_;
+  RenodeOptions options_;
+  AigSimulator sim_;
+  Aig dst_;
+  std::vector<bool> is_root_;
+  std::unordered_map<std::uint32_t, std::uint32_t> mapping_;
+};
+
+}  // namespace
+
+RenodeResult renode_and_assign(const Aig& aig, const RenodeOptions& options) {
+  if (aig.num_inputs() > TernaryTruthTable::kMaxInputs)
+    throw std::invalid_argument("renode_and_assign: too many inputs");
+  return Renoder(aig, options).run();
+}
+
+double internal_error_rate(const Aig& aig, unsigned samples, Rng& rng) {
+  const std::uint32_t first_and = aig.num_inputs() + 1;
+  const std::uint32_t num_ands =
+      static_cast<std::uint32_t>(aig.num_nodes()) - first_and;
+  if (num_ands == 0 || samples == 0) return 0.0;
+
+  unsigned propagated = 0;
+  for (unsigned s = 0; s < samples; ++s) {
+    const auto m =
+        static_cast<std::uint32_t>(rng.below(num_minterms(aig.num_inputs())));
+    const std::uint32_t node =
+        first_and + static_cast<std::uint32_t>(rng.below(num_ands));
+    const std::vector<bool> base = evaluate_all(aig, m);
+    const std::vector<bool> flipped =
+        evaluate_all(aig, m, node, !base[node]);
+    if (output_values(aig, base) != output_values(aig, flipped)) ++propagated;
+  }
+  return static_cast<double>(propagated) / samples;
+}
+
+}  // namespace rdc

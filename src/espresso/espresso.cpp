@@ -1,0 +1,97 @@
+#include "espresso/espresso.hpp"
+
+#include <utility>
+
+#include "espresso/complement.hpp"
+#include "espresso/expand.hpp"
+#include "espresso/irredundant.hpp"
+#include "espresso/reduce.hpp"
+
+namespace rdc {
+namespace {
+
+struct Cost {
+  std::size_t cubes = 0;
+  std::uint64_t literals = 0;
+  bool operator<(const Cost& other) const {
+    return std::pair(cubes, literals) < std::pair(other.cubes, other.literals);
+  }
+  bool operator==(const Cost&) const = default;
+};
+
+Cost cost_of(const Cover& cover) {
+  return Cost{cover.size(), cover.literal_count()};
+}
+
+}  // namespace
+
+Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
+               const EspressoOptions& options) {
+  Cover current = on;
+  current.remove_single_cube_contained();
+  if (current.empty_cover()) return current;
+
+  current = expand(current, off);
+  current = irredundant(current, dc);
+  Cost best = cost_of(current);
+  Cover best_cover = current;
+
+  for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    current = reduce(current, dc);
+    current = expand(current, off);
+    current = irredundant(current, dc);
+    const Cost c = cost_of(current);
+    if (c < best) {
+      best = c;
+      best_cover = current;
+    } else {
+      break;  // converged (or oscillating): keep the best seen
+    }
+  }
+  return best_cover;
+}
+
+Cover minimize(const TernaryTruthTable& f, const EspressoOptions& options) {
+  const Cover on = Cover::from_phase(f, Phase::kOne);
+  const Cover dc = Cover::from_phase(f, Phase::kDc);
+
+  // The off-set is known exactly; complementing on ∪ dc gives a compact
+  // blocking cover (far fewer cubes than one per off minterm).
+  Cover on_dc = on;
+  for (const Cube& c : dc.cubes()) on_dc.add(c);
+  const Cover off = complement(on_dc);
+
+  return espresso(on, dc, off, options);
+}
+
+std::size_t minimal_sop_size(const TernaryTruthTable& f) {
+  return minimize(f).size();
+}
+
+std::size_t minimal_sop_size(const IncompleteSpec& spec) {
+  std::size_t total = 0;
+  for (const auto& f : spec.outputs()) total += minimal_sop_size(f);
+  return total;
+}
+
+Cover conventional_assign(TernaryTruthTable& f) {
+  const Cover cover = minimize(f);
+  for (std::uint32_t m : f.dc_minterms())
+    f.set_phase(m, cover.covers_minterm(m) ? Phase::kOne : Phase::kZero);
+  return cover;
+}
+
+void conventional_assign(IncompleteSpec& spec) {
+  for (auto& f : spec.outputs()) conventional_assign(f);
+}
+
+bool cover_is_valid_for(const Cover& cover, const TernaryTruthTable& f) {
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    const bool covered = cover.covers_minterm(m);
+    if (f.is_on(m) && !covered) return false;
+    if (f.is_off(m) && covered) return false;
+  }
+  return true;
+}
+
+}  // namespace rdc

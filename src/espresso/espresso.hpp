@@ -1,0 +1,48 @@
+// ESPRESSO-style two-level minimization and the conventional (area-driven)
+// DC assignment it induces.
+//
+// This is the in-repo substitute for the ESPRESSO/Design-Compiler front-end
+// the paper uses: it produces the minimal-SOP sizes of Fig. 2 and realizes
+// "conventional DC assignment" — a DC minterm becomes 1 iff the minimized
+// cover happens to contain it.
+#pragma once
+
+#include "pla/cover.hpp"
+#include "tt/incomplete_spec.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+struct EspressoOptions {
+  /// Upper bound on expand/irredundant/reduce iterations (the loop normally
+  /// converges in 2-4).
+  unsigned max_iterations = 12;
+};
+
+/// Minimizes an ON cover against a DC cover and an OFF cover. `off` must be
+/// the complement of on ∪ dc.
+Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
+               const EspressoOptions& options = {});
+
+/// Minimizes a ternary truth table (ON minterms against its DC set).
+Cover minimize(const TernaryTruthTable& f,
+               const EspressoOptions& options = {});
+
+/// Number of implicants in the minimized SOP of `f` (the y-axis of Fig. 2).
+std::size_t minimal_sop_size(const TernaryTruthTable& f);
+
+/// Total minimized-implicant count across all outputs of a spec.
+std::size_t minimal_sop_size(const IncompleteSpec& spec);
+
+/// Conventional (area-driven) assignment: minimize, then force every DC
+/// minterm to the value the minimized cover gives it. Returns the cover.
+Cover conventional_assign(TernaryTruthTable& f);
+
+/// Applies conventional assignment to every output.
+void conventional_assign(IncompleteSpec& spec);
+
+/// Debug/test helper: checks that `cover` covers every ON minterm of `f`
+/// and no OFF minterm.
+bool cover_is_valid_for(const Cover& cover, const TernaryTruthTable& f);
+
+}  // namespace rdc

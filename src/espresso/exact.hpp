@@ -1,0 +1,28 @@
+// Exact two-level minimization (Quine-McCluskey prime generation plus
+// branch-and-bound minimum cover).
+//
+// Exponential in the worst case — intended for functions of up to ~10
+// inputs, where it serves as the optimality oracle for the heuristic
+// ESPRESSO loop (tests assert espresso lands within a small factor of the
+// true minimum) and as the reference for Fig.-2 style SOP-size studies.
+#pragma once
+
+#include <vector>
+
+#include "pla/cover.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+/// All prime implicants of `f` (covering at least one care-on minterm;
+/// DCs may be absorbed).
+std::vector<Cube> prime_implicants(const TernaryTruthTable& f);
+
+/// A minimum-cardinality prime cover of `f` (on-set covered, off-set
+/// avoided; DCs free). Ties are broken toward fewer literals.
+Cover exact_minimize(const TernaryTruthTable& f);
+
+/// Cardinality of the minimum cover without materializing it.
+std::size_t minimum_sop_size(const TernaryTruthTable& f);
+
+}  // namespace rdc

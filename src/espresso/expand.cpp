@@ -1,0 +1,72 @@
+#include "espresso/expand.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace rdc {
+namespace {
+
+bool intersects_cover(const Cube& c, const Cover& cover) {
+  for (const Cube& q : cover.cubes())
+    if (c.intersects(q, cover.num_inputs())) return true;
+  return false;
+}
+
+}  // namespace
+
+Cube expand_cube(const Cube& c, const Cover& off, const Cover& peers) {
+  const unsigned n = off.num_inputs();
+  Cube current = c;
+  while (true) {
+    int best_var = -1;
+    std::size_t best_gain = 0;
+    bool best_valid = false;
+    for (unsigned j = 0; j < n; ++j) {
+      const bool fixed =
+          test_bit(current.mask0, j) != test_bit(current.mask1, j);
+      if (!fixed) continue;
+      const Cube raised = current.expanded(j);
+      if (intersects_cover(raised, off)) continue;
+      // Gain: peer cubes newly contained by the raised cube.
+      std::size_t gain = 0;
+      for (const Cube& p : peers.cubes())
+        if (raised.contains(p) && !current.contains(p)) ++gain;
+      if (!best_valid || gain > best_gain) {
+        best_valid = true;
+        best_var = static_cast<int>(j);
+        best_gain = gain;
+      }
+    }
+    if (!best_valid) break;
+    current = current.expanded(static_cast<unsigned>(best_var));
+  }
+  return current;
+}
+
+Cover expand(const Cover& on, const Cover& off) {
+  const unsigned n = on.num_inputs();
+
+  // Process small cubes first: they have the most to gain, and the cubes
+  // they absorb never need their own expansion.
+  std::vector<std::size_t> order(on.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return on.cube(a).literal_count(n) > on.cube(b).literal_count(n);
+  });
+
+  Cover result(n);
+  std::vector<bool> covered(on.size(), false);
+  for (std::size_t idx : order) {
+    if (covered[idx]) continue;
+    const Cube prime = expand_cube(on.cube(idx), off, on);
+    result.add(prime);
+    for (std::size_t i = 0; i < on.size(); ++i)
+      if (!covered[i] && prime.contains(on.cube(i))) covered[i] = true;
+  }
+  result.remove_single_cube_contained();
+  return result;
+}
+
+}  // namespace rdc

@@ -1,0 +1,19 @@
+// EXPAND step of the ESPRESSO loop: enlarge each cube to a prime implicant
+// against the off-set, discarding cubes that become covered along the way.
+#pragma once
+
+#include "pla/cover.hpp"
+
+namespace rdc {
+
+/// Expands every cube of `on` against the blocking cover `off` (which must
+/// be disjoint from the ON- and DC-sets). Returns a prime cover of the same
+/// function, usually with fewer cubes.
+Cover expand(const Cover& on, const Cover& off);
+
+/// Expands a single cube to a prime implicant against `off`, greedily
+/// raising one variable at a time (preferring raises that cover the most
+/// not-yet-covered cubes of `peers`).
+Cube expand_cube(const Cube& c, const Cover& off, const Cover& peers);
+
+}  // namespace rdc

@@ -1,0 +1,41 @@
+#include "espresso/irredundant.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "espresso/unate.hpp"
+
+namespace rdc {
+
+Cover irredundant(const Cover& on, const Cover& dc) {
+  const unsigned n = on.num_inputs();
+  std::vector<bool> alive(on.size(), true);
+
+  // Try to drop cubes in order of increasing size (small cubes are most
+  // likely to be absorbed by their larger peers); a cube is droppable iff
+  // the still-alive remainder plus the DC cover contains it.
+  std::vector<std::size_t> order(on.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return on.cube(a).literal_count(n) >
+                            on.cube(b).literal_count(n);
+                   });
+
+  for (std::size_t candidate : order) {
+    Cover rest(n);
+    for (std::size_t i = 0; i < on.size(); ++i)
+      if (alive[i] && i != candidate) rest.add(on.cube(i));
+    for (const Cube& c : dc.cubes()) rest.add(c);
+    if (cover_contains_cube(rest, on.cube(candidate)))
+      alive[candidate] = false;
+  }
+
+  Cover result(n);
+  for (std::size_t i = 0; i < on.size(); ++i)
+    if (alive[i]) result.add(on.cube(i));
+  return result;
+}
+
+}  // namespace rdc

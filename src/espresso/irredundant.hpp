@@ -1,0 +1,14 @@
+// IRREDUNDANT step: remove cubes that are covered by the rest of the cover
+// plus the don't-care set.
+#pragma once
+
+#include "pla/cover.hpp"
+
+namespace rdc {
+
+/// Returns an irredundant subset of `on` that still covers `on` relative to
+/// the DC cover `dc`: no remaining cube can be dropped without uncovering
+/// part of the on-set.
+Cover irredundant(const Cover& on, const Cover& dc);
+
+}  // namespace rdc

@@ -1,0 +1,18 @@
+// REDUCE step: shrink each cube to the smallest cube that still covers the
+// part of the on-set no other cube covers, opening room for the next EXPAND
+// to escape local minima.
+#pragma once
+
+#include "pla/cover.hpp"
+
+namespace rdc {
+
+/// Returns the reduced cover (same function relative to `dc`). Cubes that
+/// become entirely redundant are dropped.
+Cover reduce(const Cover& on, const Cover& dc);
+
+/// Smallest single cube containing every cube of `cover`; the empty cube
+/// (all-zero masks) if the cover is empty.
+Cube supercube(const Cover& cover);
+
+}  // namespace rdc

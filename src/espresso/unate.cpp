@@ -1,0 +1,66 @@
+#include "espresso/unate.hpp"
+
+#include <cassert>
+
+namespace rdc {
+
+VariableActivity variable_activity(const Cover& cover, unsigned j) {
+  VariableActivity a;
+  const std::uint32_t bit = 1u << j;
+  for (const Cube& c : cover.cubes()) {
+    const bool allow0 = (c.mask0 & bit) != 0;
+    const bool allow1 = (c.mask1 & bit) != 0;
+    if (allow0 && !allow1) ++a.negative;
+    if (allow1 && !allow0) ++a.positive;
+  }
+  return a;
+}
+
+std::optional<unsigned> most_binate_variable(const Cover& cover) {
+  std::optional<unsigned> best;
+  unsigned best_min = 0;
+  unsigned best_total = 0;
+  for (unsigned j = 0; j < cover.num_inputs(); ++j) {
+    const VariableActivity a = variable_activity(cover, j);
+    if (!a.binate()) continue;
+    const unsigned lo = std::min(a.negative, a.positive);
+    const unsigned total = a.negative + a.positive;
+    if (!best || lo > best_min || (lo == best_min && total > best_total)) {
+      best = j;
+      best_min = lo;
+      best_total = total;
+    }
+  }
+  return best;
+}
+
+bool is_tautology(const Cover& cover) {
+  if (cover.empty_cover()) return false;
+  const unsigned n = cover.num_inputs();
+
+  const Cube full = Cube::full(n);
+  std::uint64_t minterms = 0;
+  for (const Cube& c : cover.cubes()) {
+    if (c == full) return true;
+    minterms += c.minterm_count(n);
+  }
+  // Cheap necessary condition: the cubes must jointly have enough minterms.
+  if (minterms < num_minterms(n)) return false;
+
+  const std::optional<unsigned> j = most_binate_variable(cover);
+  if (!j) {
+    // Unate cover: tautology iff it contains the universal cube, which was
+    // already checked above.
+    return false;
+  }
+  const Cube lo = full.restricted(*j, false);
+  const Cube hi = full.restricted(*j, true);
+  return is_tautology(cover.cofactor(lo)) && is_tautology(cover.cofactor(hi));
+}
+
+bool cover_contains_cube(const Cover& cover, const Cube& c) {
+  if (cover.single_cube_contains(c)) return true;
+  return is_tautology(cover.cofactor(c));
+}
+
+}  // namespace rdc

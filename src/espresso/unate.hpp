@@ -1,0 +1,35 @@
+// Unate-recursive-paradigm primitives: tautology checking, binate variable
+// selection, and cover containment tests.
+//
+// These are the kernels the ESPRESSO loop (expand / irredundant / reduce)
+// is built from, following the classic formulation of Brayton et al.
+#pragma once
+
+#include <optional>
+
+#include "pla/cover.hpp"
+
+namespace rdc {
+
+/// Per-variable polarity usage inside a cover.
+struct VariableActivity {
+  unsigned negative = 0;  ///< cubes with literal !x_j
+  unsigned positive = 0;  ///< cubes with literal x_j
+  bool binate() const { return negative > 0 && positive > 0; }
+};
+
+/// Computes the activity of variable j across the cover.
+VariableActivity variable_activity(const Cover& cover, unsigned j);
+
+/// Picks the most binate variable (maximizing min(neg, pos), ties by total
+/// activity then index); returns nullopt if the cover is unate.
+std::optional<unsigned> most_binate_variable(const Cover& cover);
+
+/// True iff the cover is a tautology (covers every minterm).
+bool is_tautology(const Cover& cover);
+
+/// True iff cube `c` is covered by `cover` (i.e. cover cofactored against c
+/// is a tautology).
+bool cover_contains_cube(const Cover& cover, const Cube& c);
+
+}  // namespace rdc

@@ -1,0 +1,108 @@
+#include "flow/synthesis_flow.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/balance.hpp"
+#include "decomp/renode.hpp"
+#include "espresso/espresso.hpp"
+#include "reliability/error_rate.hpp"
+#include "sop/extract.hpp"
+#include "sop/factor.hpp"
+
+namespace rdc {
+namespace {
+
+/// Factor + AIG + map a set of per-output covers.
+Netlist synthesize_covers(unsigned num_inputs,
+                          const std::vector<Cover>& covers,
+                          OptimizeFor objective, bool resyn_recipe,
+                          bool use_extraction, const CellLibrary& lib) {
+  Aig aig(num_inputs);
+  if (use_extraction) {
+    const ExtractionResult extraction = build_with_extraction(aig, covers);
+    for (const std::uint32_t out : extraction.outputs) aig.add_output(out);
+  } else {
+    for (const Cover& cover : covers) aig.add_output(aig.build(factor(cover)));
+  }
+  if (resyn_recipe) {
+    // Second-opinion restructuring: balance, refactor nodes against their
+    // satisfiability DCs (output-preserving), keep the result only when it
+    // shrinks, balance again.
+    aig = balance(aig);
+    RenodeOptions renode_options;
+    renode_options.reliability_assign = false;
+    RenodeResult refactored = renode_and_assign(aig, renode_options);
+    if (refactored.network.num_ands() < aig.num_ands())
+      aig = std::move(refactored.network);
+    aig = balance(aig);
+  }
+  if (objective == OptimizeFor::kDelay) aig = balance(aig);
+
+  MapOptions map_options;
+  map_options.objective = objective == OptimizeFor::kDelay
+                              ? MapObjective::kDelay
+                              : MapObjective::kArea;
+  return map_aig(aig, lib, map_options);
+}
+
+}  // namespace
+
+Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
+  std::vector<Cover> covers;
+  covers.reserve(assigned.num_outputs());
+  for (const auto& f : assigned.outputs()) {
+    if (!f.fully_specified())
+      throw std::invalid_argument("synthesize: spec must be fully assigned");
+    covers.push_back(minimize(f));
+  }
+  return synthesize_covers(assigned.num_inputs(), covers, objective,
+                           /*resyn_recipe=*/false, /*use_extraction=*/false,
+                           CellLibrary::generic70());
+}
+
+FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
+                    const FlowOptions& options) {
+  IncompleteSpec working = spec;
+
+  AssignmentResult assignment;
+  switch (policy) {
+    case DcPolicy::kConventional:
+      break;
+    case DcPolicy::kRankingFraction:
+      assignment = ranking_assign(working, options.ranking_fraction);
+      break;
+    case DcPolicy::kRankingIncremental:
+      assignment =
+          ranking_assign_incremental(working, options.ranking_fraction);
+      break;
+    case DcPolicy::kLcfThreshold:
+      assignment = lcf_assign(working, options.lcf_threshold,
+                              options.lcf_assign_balanced);
+      break;
+    case DcPolicy::kAllReliability:
+      assignment = ranking_assign(working, 1.0);
+      break;
+  }
+
+  // Conventional assignment of whatever the reliability pass left as DC —
+  // exactly what handing the partially assigned .pla to the optimizer does
+  // in the paper's flow. The minimized covers double as the synthesis input.
+  std::vector<Cover> covers;
+  covers.reserve(working.num_outputs());
+  for (auto& f : working.outputs()) covers.push_back(conventional_assign(f));
+
+  FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
+                    assignment};
+  const CellLibrary& lib =
+      options.library ? *options.library : CellLibrary::generic70();
+  result.netlist = synthesize_covers(spec.num_inputs(), covers,
+                                     options.objective, options.resyn_recipe,
+                                     options.use_extraction, lib);
+  result.stats = analyze_netlist(result.netlist, lib);
+  result.error_rate = exact_error_rate(result.implementation, spec);
+  return result;
+}
+
+}  // namespace rdc

@@ -1,0 +1,68 @@
+// End-to-end synthesis flow — the in-repo substitute for the paper's
+// Synopsys Design Compiler runs.
+//
+// Pipeline: reliability-driven DC assignment (policy-selected) → ESPRESSO
+// minimization of each output against its remaining DCs (which realizes
+// conventional assignment of the remainder) → algebraic factoring → strashed
+// AIG (optionally balanced for delay) → tree mapping onto the 70 nm-class
+// library → area/delay/power report and exact input-error rate against the
+// original specification.
+#pragma once
+
+#include <string>
+
+#include "mapper/power.hpp"
+#include "mapper/tree_map.hpp"
+#include "reliability/assignment.hpp"
+#include "tt/incomplete_spec.hpp"
+
+namespace rdc {
+
+/// Mirrors the paper's two Design Compiler configurations
+/// ("set_max_delay 0" vs "set_max_leakage/dynamic_power 0"; the paper notes
+/// min-area behaves like min-power, which holds here by construction).
+enum class OptimizeFor { kDelay, kPower };
+
+/// How don't cares are assigned before conventional optimization.
+enum class DcPolicy {
+  kConventional,        ///< all DCs left to the minimizer (the baseline)
+  kRankingFraction,     ///< Fig. 3, top `ranking_fraction` of the ranked list
+  kRankingIncremental,  ///< ablation variant with neighbor-count updates
+  kLcfThreshold,        ///< Fig. 7, local-complexity-factor gated
+  kAllReliability,      ///< every majority-phase DC assigned (fraction = 1)
+};
+
+struct FlowOptions {
+  OptimizeFor objective = OptimizeFor::kPower;
+  double ranking_fraction = 0.5;  ///< for kRankingFraction / kRankingIncremental
+  double lcf_threshold = 0.55;    ///< for kLcfThreshold
+  /// Assign tied (on == off neighbors) DCs to 0 as in the Fig.-7
+  /// pseudocode; off by default (see lcf_assign).
+  bool lcf_assign_balanced = false;
+  /// Run the structurally different "second opinion" recipe (balance ->
+  /// SDC-based node refactoring -> balance) before mapping — the analogue
+  /// of the paper's ABC resyn2rs cross-validation.
+  bool resyn_recipe = false;
+  /// Target standard-cell library; null selects the built-in generic70.
+  const CellLibrary* library = nullptr;
+  /// Share common kernels across outputs before factoring (GKX-lite);
+  /// functionally neutral, typically saves area on multi-output specs.
+  bool use_extraction = false;
+};
+
+struct FlowResult {
+  IncompleteSpec implementation;  ///< completely specified final function
+  Netlist netlist;
+  NetlistStats stats;
+  double error_rate = 0.0;        ///< exact, against the original spec
+  AssignmentResult assignment;    ///< what the reliability pass did
+};
+
+/// Runs the full flow on a specification.
+FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
+                    const FlowOptions& options = {});
+
+/// Lower half of the flow only: factor + AIG + map a fully assigned spec.
+Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective);
+
+}  // namespace rdc

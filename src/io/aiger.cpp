@@ -1,0 +1,100 @@
+#include "io/aiger.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rdc {
+
+void write_aiger(const Aig& aig, std::ostream& out) {
+  // Our literal encoding (2*node + complement, node 0 = constant false,
+  // inputs at nodes 1..I) coincides with AIGER's variable numbering.
+  const std::size_t max_var = aig.num_nodes() - 1;
+  const std::size_t num_ands = aig.num_ands();
+  out << "aag " << max_var << " " << aig.num_inputs() << " 0 "
+      << aig.outputs().size() << " " << num_ands << "\n";
+  for (unsigned i = 0; i < aig.num_inputs(); ++i)
+    out << aig.input_literal(i) << "\n";
+  for (const std::uint32_t o : aig.outputs()) out << o << "\n";
+  for (std::uint32_t node = aig.num_inputs() + 1; node < aig.num_nodes();
+       ++node) {
+    std::uint32_t rhs0 = aig.fanin0(node);
+    std::uint32_t rhs1 = aig.fanin1(node);
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);  // AIGER wants rhs0 >= rhs1
+    out << aiglit::make(node, false) << " " << rhs0 << " " << rhs1 << "\n";
+  }
+}
+
+std::string to_aiger(const Aig& aig) {
+  std::ostringstream out;
+  write_aiger(aig, out);
+  return out.str();
+}
+
+Aig parse_aiger(std::istream& in) {
+  std::string magic;
+  std::size_t max_var = 0, num_inputs = 0, num_latches = 0, num_outputs = 0,
+              num_ands = 0;
+  if (!(in >> magic >> max_var >> num_inputs >> num_latches >> num_outputs >>
+        num_ands))
+    throw std::runtime_error("aiger: malformed header");
+  if (magic != "aag")
+    throw std::runtime_error("aiger: expected ascii 'aag', got " + magic);
+  if (num_latches != 0)
+    throw std::runtime_error("aiger: latches are not supported");
+  if (max_var + 1 < 1 + num_inputs + num_ands)
+    throw std::runtime_error("aiger: inconsistent variable count");
+
+  Aig aig(static_cast<unsigned>(num_inputs));
+
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    std::uint32_t lit = 0;
+    if (!(in >> lit)) throw std::runtime_error("aiger: missing input line");
+    if (lit != 2 * (i + 1))
+      throw std::runtime_error("aiger: non-contiguous input literals");
+  }
+
+  std::vector<std::uint32_t> output_lits(num_outputs);
+  for (auto& lit : output_lits)
+    if (!(in >> lit)) throw std::runtime_error("aiger: missing output line");
+
+  // Old literal -> rebuilt literal. Strashing may fold redundant rows, so
+  // references go through the map rather than assuming stable numbering.
+  constexpr std::uint32_t kUndefined = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> map(2 * (max_var + 1), kUndefined);
+  map[0] = aiglit::kFalse;
+  map[1] = aiglit::kTrue;
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    const std::uint32_t lit = static_cast<std::uint32_t>(2 * (i + 1));
+    map[lit] = aig.input_literal(static_cast<unsigned>(i));
+    map[lit + 1] = aiglit::negate(map[lit]);
+  }
+  auto mapped = [&](std::uint32_t lit) {
+    if (lit >= map.size() || map[lit] == kUndefined)
+      throw std::runtime_error("aiger: reference to undefined literal " +
+                               std::to_string(lit));
+    return map[lit];
+  };
+
+  for (std::size_t a = 0; a < num_ands; ++a) {
+    std::uint32_t lhs = 0, rhs0 = 0, rhs1 = 0;
+    if (!(in >> lhs >> rhs0 >> rhs1))
+      throw std::runtime_error("aiger: missing and line");
+    if (lhs % 2 != 0 || lhs <= rhs0 || rhs0 < rhs1)
+      throw std::runtime_error("aiger: invalid and-gate ordering");
+    const std::uint32_t lit = aig.make_and(mapped(rhs0), mapped(rhs1));
+    map[lhs] = lit;
+    map[lhs + 1] = aiglit::negate(lit);
+  }
+
+  for (const std::uint32_t lit : output_lits) aig.add_output(mapped(lit));
+  return aig;
+}
+
+Aig parse_aiger_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_aiger(in);
+}
+
+}  // namespace rdc

@@ -1,0 +1,24 @@
+// Berkeley Logic Interchange Format (BLIF) emission.
+//
+// Mapped netlists are written as .names logic (one table per gate, cube
+// rows derived by minimizing each cell function), which every BLIF consumer
+// (ABC, SIS) accepts without needing a .genlib. Incompletely specified
+// functions are written through pla_io instead — BLIF has no DC-output
+// concept beyond external don't-care networks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mapper/netlist.hpp"
+
+namespace rdc {
+
+/// Writes the netlist as a flat BLIF model named `model_name`.
+void write_blif(const Netlist& netlist, const std::string& model_name,
+                std::ostream& out);
+
+/// Convenience: returns the BLIF text.
+std::string to_blif(const Netlist& netlist, const std::string& model_name);
+
+}  // namespace rdc

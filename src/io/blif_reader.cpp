@@ -1,0 +1,211 @@
+#include "io/blif_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "pla/cover.hpp"
+#include "sop/factor.hpp"
+
+namespace rdc {
+namespace {
+
+struct NamesTable {
+  std::vector<std::string> fanins;
+  std::string output;
+  std::vector<std::string> rows;  ///< "<cube> <phase>" or "<phase>"
+  unsigned line = 0;
+};
+
+[[noreturn]] void fail(unsigned line, const std::string& what) {
+  throw std::runtime_error("blif line " + std::to_string(line) + ": " + what);
+}
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+std::vector<std::pair<unsigned, std::string>> logical_lines(
+    std::istream& in) {
+  std::vector<std::pair<unsigned, std::string>> lines;
+  std::string line;
+  unsigned line_no = 0;
+  std::string pending;
+  unsigned pending_line = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    bool continued = false;
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      continued = true;
+    }
+    if (pending.empty()) pending_line = line_no;
+    pending += line;
+    if (continued) {
+      pending += ' ';
+      continue;
+    }
+    // Emit if non-blank.
+    std::istringstream probe(pending);
+    std::string tok;
+    if (probe >> tok) lines.emplace_back(pending_line, pending);
+    pending.clear();
+  }
+  if (!pending.empty()) lines.emplace_back(pending_line, pending);
+  return lines;
+}
+
+class BlifBuilder {
+ public:
+  BlifBuilder(BlifModel& model, std::vector<NamesTable> tables)
+      : model_(model) {
+    for (std::size_t i = 0; i < model_.input_names.size(); ++i)
+      input_index_[model_.input_names[i]] = static_cast<unsigned>(i);
+    for (auto& t : tables) {
+      if (table_index_.count(t.output))
+        fail(t.line, "signal '" + t.output + "' defined twice");
+      table_index_[t.output] = tables_.size();
+      tables_.push_back(std::move(t));
+    }
+    state_.assign(tables_.size(), State::kUnvisited);
+    literal_.assign(tables_.size(), aiglit::kFalse);
+  }
+
+  std::uint32_t build_signal(const std::string& name, unsigned ref_line) {
+    if (const auto it = input_index_.find(name); it != input_index_.end())
+      return model_.aig.input_literal(it->second);
+    const auto it = table_index_.find(name);
+    if (it == table_index_.end())
+      fail(ref_line, "undefined signal '" + name + "'");
+    const std::size_t index = it->second;
+    if (state_[index] == State::kBuilt) return literal_[index];
+    if (state_[index] == State::kBuilding)
+      fail(ref_line, "combinational cycle through '" + name + "'");
+    state_[index] = State::kBuilding;
+    literal_[index] = build_table(tables_[index]);
+    state_[index] = State::kBuilt;
+    return literal_[index];
+  }
+
+ private:
+  enum class State : std::uint8_t { kUnvisited, kBuilding, kBuilt };
+
+  std::uint32_t build_table(const NamesTable& table) {
+    const auto k = static_cast<unsigned>(table.fanins.size());
+    if (k > 20) fail(table.line, ".names wider than 20 inputs");
+
+    if (table.rows.empty()) return aiglit::kFalse;  // empty table = 0
+
+    Cover cover(k == 0 ? 1 : k);
+    int phase = -1;
+    for (const std::string& row : table.rows) {
+      std::istringstream rs(row);
+      std::string cube_text, phase_text;
+      if (k == 0) {
+        rs >> phase_text;
+      } else {
+        rs >> cube_text >> phase_text;
+      }
+      if (phase_text != "0" && phase_text != "1")
+        fail(table.line, "bad .names row '" + row + "'");
+      const int row_phase = phase_text == "1" ? 1 : 0;
+      if (phase == -1) phase = row_phase;
+      if (phase != row_phase)
+        fail(table.line, ".names mixes output phases");
+      if (k == 0) continue;
+      if (cube_text.size() != k)
+        fail(table.line, ".names row width mismatch");
+      cover.add(Cube::parse(cube_text));
+    }
+
+    if (k == 0) return phase == 1 ? aiglit::kTrue : aiglit::kFalse;
+
+    std::vector<std::uint32_t> leaf_lits;
+    leaf_lits.reserve(k);
+    for (const std::string& fanin : table.fanins)
+      leaf_lits.push_back(build_signal(fanin, table.line));
+    const std::uint32_t lit =
+        model_.aig.build(factor(cover), leaf_lits);
+    // '0'-phase rows define the off-set: the function is the complement.
+    return phase == 1 ? lit : aiglit::negate(lit);
+  }
+
+  BlifModel& model_;
+  std::vector<NamesTable> tables_;
+  std::unordered_map<std::string, unsigned> input_index_;
+  std::unordered_map<std::string, std::size_t> table_index_;
+  std::vector<State> state_;
+  std::vector<std::uint32_t> literal_;
+};
+
+}  // namespace
+
+BlifModel parse_blif(std::istream& in) {
+  BlifModel model;
+  std::vector<NamesTable> tables;
+  // Index (not pointer): the vector reallocates as tables are appended.
+  std::ptrdiff_t open_table = -1;
+
+  for (const auto& [line_no, text] : logical_lines(in)) {
+    std::istringstream ls(text);
+    std::string tok;
+    ls >> tok;
+    if (tok == ".model") {
+      ls >> model.name;
+      open_table = -1;
+    } else if (tok == ".inputs") {
+      std::string name;
+      while (ls >> name) model.input_names.push_back(name);
+      open_table = -1;
+    } else if (tok == ".outputs") {
+      std::string name;
+      while (ls >> name) model.output_names.push_back(name);
+      open_table = -1;
+    } else if (tok == ".names") {
+      std::vector<std::string> signals;
+      std::string name;
+      while (ls >> name) signals.push_back(name);
+      if (signals.empty()) fail(line_no, ".names without signals");
+      NamesTable table;
+      table.output = signals.back();
+      signals.pop_back();
+      table.fanins = std::move(signals);
+      table.line = line_no;
+      tables.push_back(std::move(table));
+      open_table = static_cast<std::ptrdiff_t>(tables.size()) - 1;
+    } else if (tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      fail(line_no, "unsupported directive " + tok);
+    } else {
+      if (open_table < 0) fail(line_no, "table row outside .names");
+      tables[static_cast<std::size_t>(open_table)].rows.push_back(text);
+    }
+  }
+  if (model.input_names.empty()) {
+    throw std::runtime_error("blif: model has no .inputs");
+  }
+  if (model.input_names.size() > TernaryTruthTable::kMaxInputs)
+    throw std::runtime_error("blif: more than 20 primary inputs");
+
+  model.aig = Aig(static_cast<unsigned>(model.input_names.size()));
+  BlifBuilder builder(model, std::move(tables));
+  for (const std::string& out : model.output_names)
+    model.aig.add_output(builder.build_signal(out, 0));
+  return model;
+}
+
+BlifModel parse_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_blif(in);
+}
+
+BlifModel load_blif(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  BlifModel model = parse_blif(in);
+  if (model.name.empty()) model.name = path.stem().string();
+  return model;
+}
+
+}  // namespace rdc

@@ -1,0 +1,31 @@
+// BLIF reader: flat combinational .names models into an AIG.
+//
+// Supported subset: .model/.inputs/.outputs/.names/.end, single-output
+// tables with '1'-phase or '0'-phase rows (espresso cube syntax in the
+// input columns), constants (empty tables = 0, a lone "1" row = 1), and
+// multi-line continuation with '\'. Latches and subcircuits are rejected.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace rdc {
+
+struct BlifModel {
+  std::string name;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  Aig aig{1};  ///< rebuilt network; inputs in input_names order
+};
+
+/// Parses a BLIF document. Throws std::runtime_error with a line-numbered
+/// message on unsupported or malformed input.
+BlifModel parse_blif(std::istream& in);
+BlifModel parse_blif_string(const std::string& text);
+BlifModel load_blif(const std::filesystem::path& path);
+
+}  // namespace rdc

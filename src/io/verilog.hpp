@@ -1,0 +1,25 @@
+// Structural Verilog emission for mapped netlists.
+//
+// Output is a single self-contained file: the mapped module (cell
+// instances over the generic70 library names) plus behavioural definitions
+// of every referenced cell, so the result simulates out of the box in any
+// Verilog simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mapper/cell_library.hpp"
+#include "mapper/netlist.hpp"
+
+namespace rdc {
+
+/// Writes the netlist as a structural Verilog module named `module_name`.
+void write_verilog(const Netlist& netlist, const CellLibrary& lib,
+                   const std::string& module_name, std::ostream& out);
+
+/// Convenience: returns the Verilog text.
+std::string to_verilog(const Netlist& netlist, const CellLibrary& lib,
+                       const std::string& module_name);
+
+}  // namespace rdc

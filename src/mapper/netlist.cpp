@@ -1,0 +1,91 @@
+#include "mapper/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rdc {
+
+std::uint32_t Netlist::add_gate(CellKind kind,
+                                std::vector<std::uint32_t> fanins) {
+  for (const std::uint32_t f : fanins)
+    if (f >= num_nets())
+      throw std::out_of_range("Netlist::add_gate: fanin net not yet driven");
+  const std::uint32_t net = num_nets();
+  gates_.push_back(Gate{kind, std::move(fanins), net});
+  return net;
+}
+
+double Netlist::area(const CellLibrary& lib) const {
+  double total = 0.0;
+  for (const Gate& g : gates_) total += lib.cell(g.kind).area;
+  return total;
+}
+
+double Netlist::leakage(const CellLibrary& lib) const {
+  double total = 0.0;
+  for (const Gate& g : gates_) total += lib.cell(g.kind).leakage;
+  return total;
+}
+
+std::vector<double> Netlist::net_loads(const CellLibrary& lib) const {
+  std::vector<double> load(num_nets(), 0.0);
+  for (const Gate& g : gates_) {
+    const double cap = lib.cell(g.kind).input_cap;
+    for (const std::uint32_t f : g.fanins) load[f] += cap;
+  }
+  for (const std::uint32_t out : outputs_) load[out] += lib.nominal_load();
+  return load;
+}
+
+std::vector<double> Netlist::arrival_times(const CellLibrary& lib) const {
+  const std::vector<double> load = net_loads(lib);
+  std::vector<double> arrival(num_nets(), 0.0);
+  // Gates are stored in topological order (fanins precede outputs).
+  for (const Gate& g : gates_) {
+    double latest = 0.0;
+    for (const std::uint32_t f : g.fanins)
+      latest = std::max(latest, arrival[f]);
+    const Cell& cell = lib.cell(g.kind);
+    arrival[g.output_net] =
+        latest + cell.intrinsic_delay + cell.load_slope * load[g.output_net];
+  }
+  return arrival;
+}
+
+double Netlist::critical_delay(const CellLibrary& lib) const {
+  const std::vector<double> arrival = arrival_times(lib);
+  double worst = 0.0;
+  for (const std::uint32_t out : outputs_)
+    worst = std::max(worst, arrival[out]);
+  return worst;
+}
+
+std::vector<bool> Netlist::evaluate(std::uint32_t minterm) const {
+  std::vector<bool> value(num_nets(), false);
+  for (unsigned i = 0; i < num_inputs_; ++i)
+    value[i] = (minterm >> i) & 1u;
+  bool pins[8];
+  for (const Gate& g : gates_) {
+    assert(g.fanins.size() <= std::size(pins));
+    std::size_t k = 0;
+    for (const std::uint32_t f : g.fanins) pins[k++] = value[f];
+    value[g.output_net] =
+        evaluate_cell(g.kind, std::span<const bool>(pins, k));
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const std::uint32_t net : outputs_) out.push_back(value[net]);
+  return out;
+}
+
+TernaryTruthTable Netlist::output_table(unsigned o) const {
+  if (num_inputs_ > TernaryTruthTable::kMaxInputs)
+    throw std::invalid_argument("output_table: too many inputs");
+  TernaryTruthTable tt(num_inputs_);
+  for (std::uint32_t m = 0; m < tt.size(); ++m)
+    if (evaluate(m).at(o)) tt.set_phase(m, Phase::kOne);
+  return tt;
+}
+
+}  // namespace rdc

@@ -1,0 +1,71 @@
+// Gate-level netlists produced by technology mapping.
+//
+// Nets are dense ids: 0..n-1 are the primary inputs, every gate drives one
+// new net. The netlist supports exact exhaustive simulation (for functional
+// verification and switching-activity extraction) and static timing with
+// the library's linear delay model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapper/cell_library.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+struct Gate {
+  CellKind kind;
+  std::vector<std::uint32_t> fanins;  ///< net ids, one per cell pin
+  std::uint32_t output_net = 0;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(unsigned num_inputs) : num_inputs_(num_inputs) {}
+
+  unsigned num_inputs() const { return num_inputs_; }
+  std::uint32_t num_nets() const {
+    return num_inputs_ + static_cast<std::uint32_t>(gates_.size());
+  }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  std::uint32_t input_net(unsigned i) const { return i; }
+
+  /// Appends a gate; returns the net it drives.
+  std::uint32_t add_gate(CellKind kind, std::vector<std::uint32_t> fanins);
+
+  void add_output(std::uint32_t net) { outputs_.push_back(net); }
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  std::size_t gate_count() const { return gates_.size(); }
+
+  /// Total cell area.
+  double area(const CellLibrary& lib) const;
+
+  /// Total leakage power (nW).
+  double leakage(const CellLibrary& lib) const;
+
+  /// Capacitive load on each net: sum of input caps of the pins it feeds.
+  /// Primary outputs add one nominal load each.
+  std::vector<double> net_loads(const CellLibrary& lib) const;
+
+  /// Static timing: arrival time of every net (ps), linear delay model.
+  std::vector<double> arrival_times(const CellLibrary& lib) const;
+
+  /// Worst arrival time over the primary outputs (ps).
+  double critical_delay(const CellLibrary& lib) const;
+
+  /// Evaluates the netlist on one input vector (bit i = input i).
+  std::vector<bool> evaluate(std::uint32_t minterm) const;
+
+  /// Truth table of output `o` over all 2^n vectors (n <= 20).
+  TernaryTruthTable output_table(unsigned o) const;
+
+ private:
+  unsigned num_inputs_;
+  std::vector<Gate> gates_;
+  std::vector<std::uint32_t> outputs_;
+};
+
+}  // namespace rdc

@@ -1,0 +1,65 @@
+#include "mapper/power.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace rdc {
+
+std::vector<double> net_probabilities(const Netlist& netlist) {
+  const unsigned n = netlist.num_inputs();
+  if (n > TernaryTruthTable::kMaxInputs)
+    throw std::invalid_argument("net_probabilities: too many inputs");
+  const std::uint32_t vectors = num_minterms(n);
+  std::vector<std::uint64_t> ones(netlist.num_nets(), 0);
+  for (std::uint32_t m = 0; m < vectors; ++m) {
+    // evaluate() returns outputs only; recompute values inline instead.
+    // To avoid re-simulating per net we rely on evaluate()'s internal order:
+    // replicate it here for all nets.
+    std::vector<bool> value(netlist.num_nets(), false);
+    for (unsigned i = 0; i < n; ++i) value[i] = (m >> i) & 1u;
+    bool pins[8];
+    for (const Gate& g : netlist.gates()) {
+      std::size_t k = 0;
+      for (const std::uint32_t f : g.fanins) pins[k++] = value[f];
+      value[g.output_net] =
+          evaluate_cell(g.kind, std::span<const bool>(pins, k));
+    }
+    for (std::uint32_t net = 0; net < netlist.num_nets(); ++net)
+      if (value[net]) ++ones[net];
+  }
+  std::vector<double> p(netlist.num_nets());
+  for (std::uint32_t net = 0; net < netlist.num_nets(); ++net)
+    p[net] = static_cast<double>(ones[net]) / vectors;
+  return p;
+}
+
+PowerReport estimate_power(const Netlist& netlist, const CellLibrary& lib) {
+  const std::vector<double> prob = net_probabilities(netlist);
+  const std::vector<double> load = netlist.net_loads(lib);
+
+  // Map each net to the internal energy of its driving cell (primary inputs
+  // have no driver).
+  std::vector<double> internal(netlist.num_nets(), 0.0);
+  for (const Gate& g : netlist.gates())
+    internal[g.output_net] = lib.cell(g.kind).internal_energy;
+
+  PowerReport report;
+  for (std::uint32_t net = 0; net < netlist.num_nets(); ++net) {
+    const double alpha = 2.0 * prob[net] * (1.0 - prob[net]);
+    report.dynamic_uw += alpha * (0.5 * load[net] + internal[net]);
+  }
+  report.leakage_nw = netlist.leakage(lib);
+  return report;
+}
+
+NetlistStats analyze_netlist(const Netlist& netlist, const CellLibrary& lib) {
+  NetlistStats stats;
+  stats.gates = netlist.gate_count();
+  stats.area = netlist.area(lib);
+  stats.delay_ps = netlist.critical_delay(lib);
+  stats.power_uw = estimate_power(netlist, lib).total_uw();
+  return stats;
+}
+
+}  // namespace rdc

@@ -1,0 +1,131 @@
+#include "mapper/subject_graph.hpp"
+
+#include <algorithm>
+
+namespace rdc {
+namespace {
+
+using aiglit::is_complemented;
+using aiglit::negate;
+using aiglit::node_of;
+
+/// True iff the edge can be absorbed into a pattern: it points, without
+/// complement, at an AND node used nowhere else.
+bool absorbable(const Aig& aig, std::uint32_t edge,
+                const std::vector<unsigned>& fanout) {
+  const std::uint32_t child = node_of(edge);
+  return !is_complemented(edge) && aig.is_and(child) && fanout[child] == 1;
+}
+
+/// Same, but for edges that must be complemented (the !(...) input of
+/// AOI/OAI/XOR shapes).
+bool absorbable_negated(const Aig& aig, std::uint32_t edge,
+                        const std::vector<unsigned>& fanout) {
+  const std::uint32_t child = node_of(edge);
+  return is_complemented(edge) && aig.is_and(child) && fanout[child] == 1;
+}
+
+/// Enumerates conjunction leaf-sets of size 2..4 rooted at `node`, expanding
+/// only absorbable edges. Produces each distinct frontier once.
+void conjunction_frontiers(const Aig& aig, const std::vector<unsigned>& fanout,
+                           std::vector<std::uint32_t> frontier,
+                           std::size_t next,
+                           std::vector<std::vector<std::uint32_t>>& out) {
+  if (next == frontier.size()) {
+    out.push_back(frontier);
+    return;
+  }
+  // Option 1: keep frontier[next] as a leaf.
+  conjunction_frontiers(aig, fanout, frontier, next + 1, out);
+  // Option 2: expand it, if possible and within the 4-leaf budget.
+  if (frontier.size() < 4 && absorbable(aig, frontier[next], fanout)) {
+    const std::uint32_t child = node_of(frontier[next]);
+    std::vector<std::uint32_t> expanded = frontier;
+    expanded[next] = aig.fanin0(child);
+    expanded.insert(expanded.begin() + static_cast<std::ptrdiff_t>(next) + 1,
+                    aig.fanin1(child));
+    conjunction_frontiers(aig, fanout, std::move(expanded), next, out);
+  }
+}
+
+void add_conjunction_matches(const std::vector<std::uint32_t>& leaves,
+                             std::vector<Match>& matches) {
+  std::vector<std::uint32_t> negated(leaves);
+  for (auto& l : negated) l = negate(l);
+  switch (leaves.size()) {
+    case 2:
+      matches.push_back({CellKind::kAnd2, false, leaves});
+      matches.push_back({CellKind::kNand2, true, leaves});
+      matches.push_back({CellKind::kNor2, false, negated});
+      matches.push_back({CellKind::kOr2, true, negated});
+      break;
+    case 3:
+      matches.push_back({CellKind::kAnd3, false, leaves});
+      matches.push_back({CellKind::kNand3, true, leaves});
+      matches.push_back({CellKind::kNor3, false, negated});
+      matches.push_back({CellKind::kOr3, true, negated});
+      break;
+    case 4:
+      matches.push_back({CellKind::kAnd4, false, leaves});
+      matches.push_back({CellKind::kNand4, true, leaves});
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<Match> enumerate_matches(const Aig& aig, std::uint32_t node,
+                                     const std::vector<unsigned>& fanout) {
+  std::vector<Match> matches;
+  const std::uint32_t e0 = aig.fanin0(node);
+  const std::uint32_t e1 = aig.fanin1(node);
+
+  // Plain conjunctions: AND/NAND/OR/NOR families over 2..4 leaves.
+  std::vector<std::vector<std::uint32_t>> frontiers;
+  conjunction_frontiers(aig, fanout, {e0, e1}, 0, frontiers);
+  std::sort(frontiers.begin(), frontiers.end());
+  frontiers.erase(std::unique(frontiers.begin(), frontiers.end()),
+                  frontiers.end());
+  for (const auto& leaves : frontiers)
+    add_conjunction_matches(leaves, matches);
+
+  // AOI21 / OAI21: N = AND(!g, x) with g = AND(a, b).
+  for (const auto& [g_edge, x] : {std::pair{e0, e1}, std::pair{e1, e0}}) {
+    if (!absorbable_negated(aig, g_edge, fanout)) continue;
+    const std::uint32_t g = node_of(g_edge);
+    const std::uint32_t a = aig.fanin0(g);
+    const std::uint32_t b = aig.fanin1(g);
+    // N = !(a*b) * x = !(a*b + !x)  -> AOI21(a, b, !x), positive polarity.
+    matches.push_back({CellKind::kAoi21, false, {a, b, negate(x)}});
+    // !N = !(( !a + !b ) * x) -> OAI21(!a, !b, x), negative polarity.
+    matches.push_back({CellKind::kOai21, true, {negate(a), negate(b), x}});
+  }
+
+  // AOI22 / OAI22 / XOR / XNOR: N = AND(!g1, !g2), both g AND nodes.
+  if (absorbable_negated(aig, e0, fanout) &&
+      absorbable_negated(aig, e1, fanout)) {
+    const std::uint32_t g1 = node_of(e0);
+    const std::uint32_t g2 = node_of(e1);
+    const std::uint32_t a = aig.fanin0(g1);
+    const std::uint32_t b = aig.fanin1(g1);
+    const std::uint32_t c = aig.fanin0(g2);
+    const std::uint32_t d = aig.fanin1(g2);
+    // N = !(ab) * !(cd) = !(ab + cd) -> AOI22, positive polarity.
+    matches.push_back({CellKind::kAoi22, false, {a, b, c, d}});
+    // !N = !((!a + !b) * (!c + !d)) -> OAI22, negative polarity.
+    matches.push_back(
+        {CellKind::kOai22, true, {negate(a), negate(b), negate(c), negate(d)}});
+    // XOR shape: g2 = AND(!a, !b) (in either order) makes N = XOR(a, b).
+    const bool straight = (c == negate(a) && d == negate(b));
+    const bool swapped = (c == negate(b) && d == negate(a));
+    if (straight || swapped) {
+      matches.push_back({CellKind::kXor2, false, {a, b}});
+      matches.push_back({CellKind::kXnor2, true, {a, b}});
+    }
+  }
+  return matches;
+}
+
+}  // namespace rdc

@@ -1,0 +1,181 @@
+#include "mapper/tree_map.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "mapper/subject_graph.hpp"
+
+namespace rdc {
+namespace {
+
+using aiglit::is_complemented;
+using aiglit::node_of;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class TreeMapper {
+ public:
+  TreeMapper(const Aig& aig, const CellLibrary& lib, const MapOptions& opts)
+      : aig_(aig), lib_(lib), opts_(opts), fanout_(aig.fanout_counts()) {}
+
+  Netlist run() {
+    solve();
+    return build();
+  }
+
+ private:
+  struct Choice {
+    double cost = kInf;       ///< objective value for this polarity
+    double tiebreak = kInf;   ///< secondary (area in delay mode)
+    int match = -1;           ///< index into matches_[node]
+    bool use_inverter = false;  ///< realize as INV of the other polarity
+  };
+
+  bool delay_mode() const { return opts_.objective == MapObjective::kDelay; }
+
+  double cell_delay(const Cell& cell) const {
+    return cell.intrinsic_delay + cell.load_slope * lib_.nominal_load();
+  }
+
+  /// Objective cost of using literal L as a cell pin: pair (cost, area).
+  std::pair<double, double> leaf_cost(std::uint32_t lit) const {
+    const std::uint32_t node = node_of(lit);
+    const bool neg = is_complemented(lit);
+    const Cell& inv = lib_.inverter();
+    const double inv_cost = delay_mode() ? cell_delay(inv) : inv.area;
+    const double inv_area = inv.area;
+
+    if (!aig_.is_and(node)) {
+      // Primary input (constants never appear as fanins after folding).
+      return neg ? std::pair{inv_cost, inv_area} : std::pair{0.0, 0.0};
+    }
+    if (fanout_[node] > 1) {
+      // Tree boundary: the root signal is realized in positive polarity;
+      // its own cost is accounted for when its tree is mapped.
+      const double base = delay_mode() ? root_arrival_[node] : 0.0;
+      return neg ? std::pair{base + inv_cost, inv_area}
+                 : std::pair{base, 0.0};
+    }
+    const Choice& c = choices_[node][neg ? 1 : 0];
+    return {c.cost, c.tiebreak};
+  }
+
+  void solve() {
+    choices_.assign(aig_.num_nodes(), {});
+    matches_.assign(aig_.num_nodes(), {});
+    root_arrival_.assign(aig_.num_nodes(), 0.0);
+
+    for (std::uint32_t node = aig_.num_inputs() + 1; node < aig_.num_nodes();
+         ++node) {
+      matches_[node] = enumerate_matches(aig_, node, fanout_);
+      std::array<Choice, 2>& choice = choices_[node];
+      for (int mi = 0; mi < static_cast<int>(matches_[node].size()); ++mi) {
+        const Match& m = matches_[node][static_cast<std::size_t>(mi)];
+        const Cell& cell = lib_.cell(m.kind);
+        double cost = delay_mode() ? 0.0 : cell.area;
+        double area = cell.area;
+        for (const std::uint32_t leaf : m.leaves) {
+          const auto [lc, la] = leaf_cost(leaf);
+          if (delay_mode())
+            cost = std::max(cost, lc);
+          else
+            cost += lc;
+          area += la;
+        }
+        if (delay_mode()) cost += cell_delay(cell);
+        Choice& slot = choice[m.output_negated ? 1 : 0];
+        if (cost < slot.cost ||
+            (cost == slot.cost && area < slot.tiebreak)) {
+          slot.cost = cost;
+          slot.tiebreak = delay_mode() ? area : area;
+          slot.match = mi;
+          slot.use_inverter = false;
+        }
+      }
+      // Polarity conversion through an inverter (at most one side wins).
+      const Cell& inv = lib_.inverter();
+      const double inv_cost = delay_mode() ? cell_delay(inv) : inv.area;
+      const std::array<Choice, 2> base = choice;
+      for (int pol = 0; pol < 2; ++pol) {
+        // Tree roots are realized match-based in positive polarity (their
+        // negative uses go through a boundary inverter in realize());
+        // letting the positive side pick "inverter of negative" here would
+        // make the two paths mutually recursive.
+        if (fanout_[node] > 1 && pol == 0) continue;
+        const Choice& other = base[1 - pol];
+        if (other.cost + inv_cost < choice[pol].cost) {
+          choice[pol].cost = other.cost + inv_cost;
+          choice[pol].tiebreak = other.tiebreak + inv.area;
+          choice[pol].match = -1;
+          choice[pol].use_inverter = true;
+        }
+      }
+      if (fanout_[node] > 1) root_arrival_[node] = choice[0].cost;
+    }
+  }
+
+  Netlist build() {
+    Netlist netlist(aig_.num_inputs());
+    for (const std::uint32_t out : aig_.outputs())
+      netlist.add_output(realize(netlist, node_of(out),
+                                 is_complemented(out)));
+    return netlist;
+  }
+
+  std::uint32_t realize(Netlist& netlist, std::uint32_t node, bool neg) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(node) << 1) |
+                              (neg ? 1u : 0u);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    std::uint32_t net;
+    if (node == 0) {
+      net = netlist.add_gate(neg ? CellKind::kTie1 : CellKind::kTie0, {});
+    } else if (!aig_.is_and(node)) {
+      const std::uint32_t input_net = netlist.input_net(node - 1);
+      net = neg ? netlist.add_gate(CellKind::kInv, {input_net}) : input_net;
+    } else if (fanout_[node] > 1 && neg) {
+      // Boundary convention: roots are realized positive; negative uses get
+      // a shared inverter.
+      net = netlist.add_gate(CellKind::kInv, {realize(netlist, node, false)});
+    } else {
+      const Choice& choice = choices_[node][neg ? 1 : 0];
+      if (choice.use_inverter) {
+        net = netlist.add_gate(CellKind::kInv,
+                               {realize(netlist, node, !neg)});
+      } else {
+        assert(choice.match >= 0);
+        const Match& m =
+            matches_[node][static_cast<std::size_t>(choice.match)];
+        std::vector<std::uint32_t> fanins;
+        fanins.reserve(m.leaves.size());
+        for (const std::uint32_t leaf : m.leaves)
+          fanins.push_back(
+              realize(netlist, node_of(leaf), is_complemented(leaf)));
+        net = netlist.add_gate(m.kind, std::move(fanins));
+      }
+    }
+    memo_.emplace(key, net);
+    return net;
+  }
+
+  const Aig& aig_;
+  const CellLibrary& lib_;
+  MapOptions opts_;
+  std::vector<unsigned> fanout_;
+  std::vector<std::array<Choice, 2>> choices_;
+  std::vector<std::vector<Match>> matches_;
+  std::vector<double> root_arrival_;
+  std::unordered_map<std::uint64_t, std::uint32_t> memo_;
+};
+
+}  // namespace
+
+Netlist map_aig(const Aig& aig, const CellLibrary& lib,
+                const MapOptions& options) {
+  return TreeMapper(aig, lib, options).run();
+}
+
+}  // namespace rdc

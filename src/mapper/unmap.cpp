@@ -1,0 +1,79 @@
+#include "mapper/unmap.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rdc {
+namespace {
+
+std::uint32_t build_cell(Aig& aig, CellKind kind,
+                         const std::vector<std::uint32_t>& in) {
+  using aiglit::negate;
+  switch (kind) {
+    case CellKind::kInv:
+      return negate(in[0]);
+    case CellKind::kBuf:
+      return in[0];
+    case CellKind::kAnd2:
+      return aig.make_and(in[0], in[1]);
+    case CellKind::kNand2:
+      return negate(aig.make_and(in[0], in[1]));
+    case CellKind::kOr2:
+      return aig.make_or(in[0], in[1]);
+    case CellKind::kNor2:
+      return negate(aig.make_or(in[0], in[1]));
+    case CellKind::kAnd3:
+      return aig.make_and(aig.make_and(in[0], in[1]), in[2]);
+    case CellKind::kNand3:
+      return negate(aig.make_and(aig.make_and(in[0], in[1]), in[2]));
+    case CellKind::kOr3:
+      return aig.make_or(aig.make_or(in[0], in[1]), in[2]);
+    case CellKind::kNor3:
+      return negate(aig.make_or(aig.make_or(in[0], in[1]), in[2]));
+    case CellKind::kAnd4:
+      return aig.make_and(aig.make_and(in[0], in[1]),
+                          aig.make_and(in[2], in[3]));
+    case CellKind::kNand4:
+      return negate(aig.make_and(aig.make_and(in[0], in[1]),
+                                 aig.make_and(in[2], in[3])));
+    case CellKind::kAoi21:
+      return negate(aig.make_or(aig.make_and(in[0], in[1]), in[2]));
+    case CellKind::kOai21:
+      return negate(aig.make_and(aig.make_or(in[0], in[1]), in[2]));
+    case CellKind::kAoi22:
+      return negate(aig.make_or(aig.make_and(in[0], in[1]),
+                                aig.make_and(in[2], in[3])));
+    case CellKind::kOai22:
+      return negate(aig.make_and(aig.make_or(in[0], in[1]),
+                                 aig.make_or(in[2], in[3])));
+    case CellKind::kXor2:
+      return aig.make_xor(in[0], in[1]);
+    case CellKind::kXnor2:
+      return negate(aig.make_xor(in[0], in[1]));
+    case CellKind::kTie0:
+      return aiglit::kFalse;
+    case CellKind::kTie1:
+      return aiglit::kTrue;
+  }
+  throw std::logic_error("build_cell: unknown cell kind");
+}
+
+}  // namespace
+
+Aig netlist_to_aig(const Netlist& netlist) {
+  Aig aig(netlist.num_inputs());
+  std::vector<std::uint32_t> net_lit(netlist.num_nets(), aiglit::kFalse);
+  for (unsigned i = 0; i < netlist.num_inputs(); ++i)
+    net_lit[i] = aig.input_literal(i);
+  for (const Gate& g : netlist.gates()) {
+    std::vector<std::uint32_t> fanins;
+    fanins.reserve(g.fanins.size());
+    for (const std::uint32_t f : g.fanins) fanins.push_back(net_lit[f]);
+    net_lit[g.output_net] = build_cell(aig, g.kind, fanins);
+  }
+  for (const std::uint32_t out : netlist.outputs())
+    aig.add_output(net_lit[out]);
+  return aig;
+}
+
+}  // namespace rdc

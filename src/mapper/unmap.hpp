@@ -1,0 +1,14 @@
+// Netlist -> AIG conversion ("unmapping"), for verification: a mapped
+// netlist converted back to an AIG can be checked against the pre-mapping
+// AIG with the SAT-based equivalence engine.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "mapper/netlist.hpp"
+
+namespace rdc {
+
+/// Builds an AIG computing exactly the netlist's outputs.
+Aig netlist_to_aig(const Netlist& netlist);
+
+}  // namespace rdc

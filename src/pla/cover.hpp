@@ -1,0 +1,64 @@
+// Single-output cube covers (sums of products).
+//
+// A Cover is the SOP object manipulated by the ESPRESSO engine and by the
+// factoring front-end of the synthesis flow. It also converts to and from
+// the ternary truth tables used by the reliability algorithms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pla/cube.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+class Cover {
+ public:
+  explicit Cover(unsigned num_inputs) : num_inputs_(num_inputs) {}
+  Cover(unsigned num_inputs, std::vector<Cube> cubes)
+      : num_inputs_(num_inputs), cubes_(std::move(cubes)) {}
+
+  unsigned num_inputs() const { return num_inputs_; }
+  std::size_t size() const { return cubes_.size(); }
+  bool empty_cover() const { return cubes_.empty(); }
+
+  const Cube& cube(std::size_t i) const { return cubes_[i]; }
+  std::vector<Cube>& cubes() { return cubes_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+
+  void add(const Cube& c) { cubes_.push_back(c); }
+
+  /// Total number of literals across all cubes (the classic SOP cost).
+  std::uint64_t literal_count() const;
+
+  /// True iff some cube contains the minterm.
+  bool covers_minterm(std::uint32_t m) const;
+
+  /// True iff some cube contains cube `c` entirely (single-cube containment;
+  /// used as a cheap filter — full containment checks go through espresso).
+  bool single_cube_contains(const Cube& c) const;
+
+  /// Builds the set of minterms covered, as an on-set-only truth table
+  /// (off elsewhere). Requires num_inputs <= TernaryTruthTable::kMaxInputs.
+  TernaryTruthTable to_truth_table() const;
+
+  /// Cover consisting of one minterm cube per on-set minterm of `f`
+  /// (`phase` selects which set to enumerate).
+  static Cover from_phase(const TernaryTruthTable& f, Phase phase);
+
+  /// Cofactor of the cover with respect to cube `c` (Shannon/generalized):
+  /// keeps cubes intersecting c, raising variables fixed by c.
+  Cover cofactor(const Cube& c) const;
+
+  /// Removes cubes contained in another cube of the cover (single-cube
+  /// containment minimization). Stable order of survivors.
+  void remove_single_cube_contained();
+
+ private:
+  unsigned num_inputs_;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace rdc

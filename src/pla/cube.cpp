@@ -1,0 +1,50 @@
+#include "pla/cube.hpp"
+
+#include <stdexcept>
+
+namespace rdc {
+
+Cube Cube::parse(const std::string& text) {
+  if (text.size() > 20)
+    throw std::invalid_argument("cube wider than 20 variables: " + text);
+  Cube c;
+  for (unsigned j = 0; j < text.size(); ++j) {
+    switch (text[j]) {
+      case '0':
+        c.mask0 |= 1u << j;
+        break;
+      case '1':
+        c.mask1 |= 1u << j;
+        break;
+      case '-':
+      case '2':
+        c.mask0 |= 1u << j;
+        c.mask1 |= 1u << j;
+        break;
+      default:
+        throw std::invalid_argument(std::string("bad cube character '") +
+                                    text[j] + "' in \"" + text + "\"");
+    }
+  }
+  return c;
+}
+
+std::string Cube::to_string(unsigned n) const {
+  std::string s;
+  s.reserve(n);
+  for (unsigned j = 0; j < n; ++j) {
+    const bool z = test_bit(mask0, j);
+    const bool o = test_bit(mask1, j);
+    if (z && o)
+      s.push_back('-');
+    else if (o)
+      s.push_back('1');
+    else if (z)
+      s.push_back('0');
+    else
+      s.push_back('@');  // empty part — never produced by valid covers
+  }
+  return s;
+}
+
+}  // namespace rdc

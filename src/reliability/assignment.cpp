@@ -1,0 +1,201 @@
+#include "reliability/assignment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "reliability/complexity.hpp"
+#include "tt/neighbor_stats.hpp"
+
+namespace rdc {
+namespace {
+
+struct RankedDc {
+  std::uint32_t minterm = 0;
+  unsigned weight = 0;  ///< |on-neighbors - off-neighbors|
+  bool to_on = false;   ///< majority phase
+};
+
+/// Builds the ranked DC list of Fig. 3: only DCs with non-zero weight, in
+/// decreasing weight order (ties by minterm index for determinism).
+std::vector<RankedDc> ranked_dcs(const TernaryTruthTable& f) {
+  const NeighborTable neighbors(f);
+  std::vector<RankedDc> list;
+  for (std::uint32_t m : f.dc_minterms()) {
+    const NeighborCounts& c = neighbors.at(m);
+    const unsigned w =
+        c.on > c.off ? unsigned{c.on} - c.off : unsigned{c.off} - c.on;
+    if (w != 0) list.push_back({m, w, c.on > c.off});
+  }
+  std::stable_sort(list.begin(), list.end(),
+                   [](const RankedDc& a, const RankedDc& b) {
+                     return a.weight > b.weight;
+                   });
+  return list;
+}
+
+AssignmentResult apply_prefix(TernaryTruthTable& f,
+                              const std::vector<RankedDc>& list,
+                              std::size_t count) {
+  AssignmentResult result;
+  result.dc_before = f.dc_count();
+  count = std::min(count, list.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    f.set_phase(list[i].minterm, list[i].to_on ? Phase::kOne : Phase::kZero);
+    ++result.assigned;
+    if (list[i].to_on) ++result.assigned_on;
+  }
+  return result;
+}
+
+template <typename Pass>
+AssignmentResult for_each_output(IncompleteSpec& spec, Pass pass) {
+  AssignmentResult total;
+  for (auto& f : spec.outputs()) {
+    const AssignmentResult r = pass(f);
+    total.dc_before += r.dc_before;
+    total.assigned += r.assigned;
+    total.assigned_on += r.assigned_on;
+  }
+  return total;
+}
+
+}  // namespace
+
+AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  const std::vector<RankedDc> list = ranked_dcs(f);
+  // Fig. 3 assigns indices 0 .. fraction * DC_List.length.
+  const auto count = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(list.size())));
+  return apply_prefix(f, list, count);
+}
+
+AssignmentResult ranking_assign_count(TernaryTruthTable& f,
+                                      std::uint32_t count) {
+  return apply_prefix(f, ranked_dcs(f), count);
+}
+
+AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
+                                            double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  AssignmentResult result;
+  result.dc_before = f.dc_count();
+
+  // Budget mirrors the static variant: the ranked-list length at the start.
+  const std::size_t budget = static_cast<std::size_t>(std::llround(
+      fraction * static_cast<double>(ranked_dcs(f).size())));
+
+  // Max-heap with lazy revalidation: entries carry the weight they were
+  // pushed with; stale entries (weight changed since) are re-pushed.
+  struct Entry {
+    unsigned weight;
+    std::uint32_t minterm;
+    bool operator<(const Entry& other) const {
+      if (weight != other.weight) return weight < other.weight;
+      return minterm > other.minterm;  // prefer smaller index on ties
+    }
+  };
+
+  const unsigned n = f.num_inputs();
+  std::vector<NeighborCounts> counts(f.size());
+  {
+    const NeighborTable table(f);
+    for (std::uint32_t m = 0; m < f.size(); ++m) counts[m] = table.at(m);
+  }
+  auto weight_of = [&](std::uint32_t m) {
+    const NeighborCounts& c = counts[m];
+    return c.on > c.off ? unsigned{c.on} - c.off : unsigned{c.off} - c.on;
+  };
+
+  std::priority_queue<Entry> heap;
+  for (std::uint32_t m : f.dc_minterms())
+    if (weight_of(m) != 0) heap.push({weight_of(m), m});
+
+  std::size_t assigned = 0;
+  while (assigned < budget && !heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    if (!f.is_dc(top.minterm)) continue;  // already assigned
+    const unsigned w = weight_of(top.minterm);
+    if (w == 0) continue;  // majority vanished; drop per Fig. 3's filter
+    if (w != top.weight) {
+      heap.push({w, top.minterm});  // stale entry: reinsert with fresh weight
+      continue;
+    }
+    const NeighborCounts& c = counts[top.minterm];
+    const bool to_on = c.on > c.off;
+    f.set_phase(top.minterm, to_on ? Phase::kOne : Phase::kZero);
+    ++assigned;
+    ++result.assigned;
+    if (to_on) ++result.assigned_on;
+    // The assignment converts one DC neighbor of each adjacent minterm into
+    // an on/off neighbor; refresh their counts and heap entries.
+    for (unsigned j = 0; j < n; ++j) {
+      const std::uint32_t nbr = flip_bit(top.minterm, j);
+      NeighborCounts& nc = counts[nbr];
+      assert(nc.dc > 0);
+      --nc.dc;
+      if (to_on)
+        ++nc.on;
+      else
+        ++nc.off;
+      if (f.is_dc(nbr) && weight_of(nbr) != 0)
+        heap.push({weight_of(nbr), nbr});
+    }
+  }
+  return result;
+}
+
+AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
+                            bool assign_balanced) {
+  const NeighborTable neighbors(f);
+  AssignmentResult result;
+  result.dc_before = f.dc_count();
+  // Collect decisions first so that assignments made by this pass do not
+  // perturb the LC^f and majority computations of later minterms (the
+  // paper's Fig. 7 evaluates all metrics on the input specification).
+  std::vector<std::pair<std::uint32_t, bool>> decisions;
+  for (std::uint32_t m : f.dc_minterms()) {
+    if (local_complexity_factor(f, neighbors, m) >= threshold) continue;
+    const NeighborCounts& c = neighbors.at(m);
+    if (!assign_balanced && c.on == c.off) continue;
+    decisions.emplace_back(m, c.on > c.off);
+  }
+  for (const auto& [m, to_on] : decisions) {
+    f.set_phase(m, to_on ? Phase::kOne : Phase::kZero);
+    ++result.assigned;
+    if (to_on) ++result.assigned_on;
+  }
+  return result;
+}
+
+AssignmentResult ranking_assign(IncompleteSpec& spec, double fraction) {
+  return for_each_output(
+      spec, [&](TernaryTruthTable& f) { return ranking_assign(f, fraction); });
+}
+
+AssignmentResult ranking_assign_incremental(IncompleteSpec& spec,
+                                            double fraction) {
+  return for_each_output(spec, [&](TernaryTruthTable& f) {
+    return ranking_assign_incremental(f, fraction);
+  });
+}
+
+AssignmentResult lcf_assign(IncompleteSpec& spec, double threshold,
+                            bool assign_balanced) {
+  return for_each_output(spec, [&](TernaryTruthTable& f) {
+    return lcf_assign(f, threshold, assign_balanced);
+  });
+}
+
+void assign_from_implementation(TernaryTruthTable& f,
+                                const TernaryTruthTable& implementation) {
+  assert(implementation.fully_specified());
+  assert(implementation.num_inputs() == f.num_inputs());
+  for (std::uint32_t m : f.dc_minterms())
+    f.set_phase(m, implementation.is_on(m) ? Phase::kOne : Phase::kZero);
+}
+
+}  // namespace rdc

@@ -1,0 +1,54 @@
+#include "reliability/complexity.hpp"
+
+namespace rdc {
+
+double complexity_factor(const TernaryTruthTable& f) {
+  const unsigned n = f.num_inputs();
+  const NeighborTable neighbors(f);
+  std::uint64_t same = 0;
+  for (std::uint32_t m = 0; m < f.size(); ++m)
+    same += neighbors.same_phase_neighbors(f, m);
+  return static_cast<double>(same) /
+         (static_cast<double>(n) * static_cast<double>(f.size()));
+}
+
+double complexity_factor(const IncompleteSpec& spec) {
+  if (spec.num_outputs() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : spec.outputs()) sum += complexity_factor(f);
+  return sum / spec.num_outputs();
+}
+
+double expected_complexity_factor(const TernaryTruthTable& f) {
+  const double f0 = f.f0();
+  const double f1 = f.f1();
+  const double fdc = f.f_dc();
+  return f0 * f0 + f1 * f1 + fdc * fdc;
+}
+
+double expected_complexity_factor(const IncompleteSpec& spec) {
+  if (spec.num_outputs() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : spec.outputs()) sum += expected_complexity_factor(f);
+  return sum / spec.num_outputs();
+}
+
+double local_complexity_factor(const TernaryTruthTable& f,
+                               const NeighborTable& neighbors,
+                               std::uint32_t minterm) {
+  const unsigned n = f.num_inputs();
+  std::uint64_t same = 0;
+  for (unsigned j = 0; j < n; ++j) {
+    const std::uint32_t nbr = flip_bit(minterm, j);
+    same += neighbors.same_phase_neighbors(f, nbr);
+  }
+  return static_cast<double>(same) / (static_cast<double>(n) * n);
+}
+
+double local_complexity_factor(const TernaryTruthTable& f,
+                               std::uint32_t minterm) {
+  const NeighborTable neighbors(f);
+  return local_complexity_factor(f, neighbors, minterm);
+}
+
+}  // namespace rdc

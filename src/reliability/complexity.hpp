@@ -1,0 +1,44 @@
+// Complexity-factor metrics (Sections 2.2, 3.1 and 4 of the paper).
+//
+// The (normalized) complexity factor C^f of an n-input function is the
+// fraction of ordered 1-Hamming-distance minterm pairs that share a phase
+// (on/off/DC). It predicts minimal-SOP size (Fig. 2 of the paper): C^f = 1
+// is a constant function, C^f = 0 (fully specified) is a parity function.
+//
+// The *local* complexity factor LC^f(x_i) restricts the count to pairs
+// (x_j, x_k) with x_j a neighbor of x_i and x_k a neighbor of x_j; it drives
+// the complexity-factor-based DC assignment of Section 4.
+#pragma once
+
+#include <cstdint>
+
+#include "tt/incomplete_spec.hpp"
+#include "tt/neighbor_stats.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+/// Normalized complexity factor C^f in [0, 1].
+double complexity_factor(const TernaryTruthTable& f);
+
+/// Mean C^f across the outputs of a multi-output spec.
+double complexity_factor(const IncompleteSpec& spec);
+
+/// Expected complexity factor under random phase assignment with the
+/// function's signal probabilities: E[C^f] = f0^2 + f1^2 + fDC^2.
+double expected_complexity_factor(const TernaryTruthTable& f);
+double expected_complexity_factor(const IncompleteSpec& spec);
+
+/// Normalized local complexity factor LC^f(x_i) in [0, 1]:
+///   (1/n^2) |{(x_j, x_k) : D(x_i,x_j)=1, D(x_j,x_k)=1, f(x_j)=f(x_k)}|.
+/// Taken literally from the paper: x_k ranges over all n neighbors of x_j,
+/// including x_i itself.
+double local_complexity_factor(const TernaryTruthTable& f,
+                               const NeighborTable& neighbors,
+                               std::uint32_t minterm);
+
+/// Convenience overload building the neighbor table internally (O(n·2^n)).
+double local_complexity_factor(const TernaryTruthTable& f,
+                               std::uint32_t minterm);
+
+}  // namespace rdc

@@ -1,0 +1,143 @@
+#include "reliability/estimates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "tt/neighbor_stats.hpp"
+
+namespace rdc {
+
+BorderCounts count_borders(const TernaryTruthTable& f) {
+  const unsigned n = f.num_inputs();
+  const NeighborTable neighbors(f);
+  BorderCounts borders;
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    const NeighborCounts& c = neighbors.at(m);
+    switch (f.phase(m)) {
+      case Phase::kZero:
+        borders.b0 += n - c.off;
+        break;
+      case Phase::kOne:
+        borders.b1 += n - c.on;
+        break;
+      case Phase::kDc:
+        borders.bdc += n - c.dc;
+        break;
+    }
+  }
+  return borders;
+}
+
+EstimatedBounds signal_probability_bounds_from_stats(unsigned n, double f0,
+                                                     double f1, double fdc) {
+  // Base error: an off-set minterm has n*f1 expected on-set neighbors and
+  // vice versa -> 2*n*f0*f1*2^n ordered events, i.e. a rate of 2*f0*f1.
+  const double base_rate = 2.0 * f0 * f1;
+
+  // Y_i = sum over the n neighbors of +1 (on), -1 (off), 0 (DC); Gaussian
+  // approximation per the Central Limit Theorem (paper, Sec. 5).
+  const double mu = n * (f1 - f0);
+  const double var = n * (f1 + f0 - (f1 - f0) * (f1 - f0));
+  const double e_abs_y = folded_normal_mean(mu, std::sqrt(std::max(var, 0.0)));
+
+  // min((n-Y)/2, (n+Y)/2) = (n - |Y|)/2, so the expectations are exact in
+  // terms of E|Y| — no min/max-of-two-correlated-Gaussians machinery needed.
+  const double e_min = 0.5 * (n - e_abs_y);
+  const double e_max = 0.5 * (n + e_abs_y);
+
+  EstimatedBounds bounds;
+  bounds.min = base_rate + fdc * std::max(e_min, 0.0) / n;
+  bounds.max = base_rate + fdc * std::min(e_max, double(n)) / n;
+  return bounds;
+}
+
+EstimatedBounds signal_probability_bounds(const TernaryTruthTable& f) {
+  return signal_probability_bounds_from_stats(f.num_inputs(), f.f0(), f.f1(),
+                                              f.f_dc());
+}
+
+EstimatedBounds border_bounds_from_stats(unsigned n, double f0, double f1,
+                                         double fdc,
+                                         const BorderCounts& borders) {
+  const double size = std::ldexp(1.0, static_cast<int>(n));
+
+  // Base error (paper Eq. 1, expressed on the n*2^n event scale): of the b1
+  // borders leaving the on-set, a fraction f0/(f0+fdc) lands in the off-set,
+  // and symmetrically for b0.
+  double base_rate = 0.0;
+  if (f0 + fdc > 0.0)
+    base_rate += static_cast<double>(borders.b1) * (f0 / (f0 + fdc));
+  if (f1 + fdc > 0.0)
+    base_rate += static_cast<double>(borders.b0) * (f1 / (f1 + fdc));
+  base_rate /= static_cast<double>(n) * size;
+
+  EstimatedBounds bounds{base_rate, base_rate};
+  if (borders.bdc == 0 || fdc == 0.0) return bounds;
+
+  // Expected borders per DC minterm, and the Poisson parameter for its
+  // on-set-neighbor count.
+  const double nb = static_cast<double>(borders.bdc) / (fdc * size);
+  const double care_borders = static_cast<double>(borders.b0 + borders.b1);
+  const double lambda =
+      care_borders > 0.0
+          ? nb * static_cast<double>(borders.b1) / care_borders
+          : 0.0;
+
+  const unsigned nb_int = std::max(1u, static_cast<unsigned>(std::llround(nb)));
+  const unsigned half = nb_int / 2;
+
+  double e_min = 0.0;
+  double e_max = 0.0;
+  for (unsigned i = 0; i <= nb_int; ++i) {
+    const double p = poisson_pmf(i, lambda);
+    const double on_side = static_cast<double>(i);
+    const double off_side = static_cast<double>(nb_int - i);
+    if (i <= half) {
+      e_min += on_side * p;   // fewer on-neighbors: assign to off
+      e_max += off_side * p;
+    } else {
+      e_min += off_side * p;  // fewer off-neighbors: assign to on
+      e_max += on_side * p;
+    }
+  }
+  bounds.min += fdc * e_min / n;
+  bounds.max += fdc * e_max / n;
+  return bounds;
+}
+
+EstimatedBounds border_bounds(const TernaryTruthTable& f) {
+  return border_bounds_from_stats(f.num_inputs(), f.f0(), f.f1(), f.f_dc(),
+                                  count_borders(f));
+}
+
+namespace {
+
+template <typename Fn>
+EstimatedBounds mean_over_outputs(const IncompleteSpec& spec, Fn fn) {
+  EstimatedBounds total;
+  if (spec.num_outputs() == 0) return total;
+  for (const auto& f : spec.outputs()) {
+    const EstimatedBounds b = fn(f);
+    total.min += b.min;
+    total.max += b.max;
+  }
+  total.min /= spec.num_outputs();
+  total.max /= spec.num_outputs();
+  return total;
+}
+
+}  // namespace
+
+EstimatedBounds signal_probability_bounds(const IncompleteSpec& spec) {
+  return mean_over_outputs(spec, [](const TernaryTruthTable& f) {
+    return signal_probability_bounds(f);
+  });
+}
+
+EstimatedBounds border_bounds(const IncompleteSpec& spec) {
+  return mean_over_outputs(
+      spec, [](const TernaryTruthTable& f) { return border_bounds(f); });
+}
+
+}  // namespace rdc

@@ -1,0 +1,110 @@
+#include "reliability/sampling.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace rdc {
+namespace {
+
+/// All n-bit masks with exactly k bits set (Gosper's hack).
+std::vector<std::uint32_t> k_subsets(unsigned n, unsigned k) {
+  std::vector<std::uint32_t> masks;
+  if (k == 0 || k > n) return masks;
+  std::uint32_t mask = (1u << k) - 1;
+  const std::uint32_t limit = 1u << n;
+  while (mask < limit) {
+    masks.push_back(mask);
+    const std::uint32_t c = mask & static_cast<std::uint32_t>(-static_cast<std::int32_t>(mask));
+    const std::uint32_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return masks;
+}
+
+void check_pair(const TernaryTruthTable& implementation,
+                const TernaryTruthTable& spec, unsigned k) {
+  if (!implementation.fully_specified())
+    throw std::invalid_argument(
+        "error rate: implementation must be completely specified");
+  if (implementation.num_inputs() != spec.num_inputs())
+    throw std::invalid_argument("error rate: input count mismatch");
+  if (k == 0 || k > spec.num_inputs())
+    throw std::invalid_argument("error rate: bad flip count k");
+}
+
+template <typename Fn>
+double mean_over_outputs(const IncompleteSpec& implementation,
+                         const IncompleteSpec& spec, Fn fn) {
+  if (implementation.num_outputs() != spec.num_outputs())
+    throw std::invalid_argument("error rate: output count mismatch");
+  if (spec.num_outputs() == 0) return 0.0;
+  double sum = 0.0;
+  for (unsigned o = 0; o < spec.num_outputs(); ++o)
+    sum += fn(implementation.output(o), spec.output(o));
+  return sum / spec.num_outputs();
+}
+
+}  // namespace
+
+double exact_error_rate_kbit(const TernaryTruthTable& implementation,
+                             const TernaryTruthTable& spec, unsigned k) {
+  check_pair(implementation, spec, k);
+  const std::vector<std::uint32_t> masks = k_subsets(spec.num_inputs(), k);
+  std::uint64_t propagating = 0;
+  for (std::uint32_t m = 0; m < spec.size(); ++m) {
+    if (!spec.is_care(m)) continue;
+    const bool value = implementation.is_on(m);
+    for (const std::uint32_t mask : masks)
+      if (implementation.is_on(m ^ mask) != value) ++propagating;
+  }
+  return static_cast<double>(propagating) /
+         (static_cast<double>(masks.size()) * static_cast<double>(spec.size()));
+}
+
+double exact_error_rate_kbit(const IncompleteSpec& implementation,
+                             const IncompleteSpec& spec, unsigned k) {
+  return mean_over_outputs(
+      implementation, spec,
+      [&](const TernaryTruthTable& i, const TernaryTruthTable& s) {
+        return exact_error_rate_kbit(i, s, k);
+      });
+}
+
+double sampled_error_rate(const TernaryTruthTable& implementation,
+                          const TernaryTruthTable& spec, unsigned k,
+                          std::uint64_t samples, Rng& rng) {
+  check_pair(implementation, spec, k);
+  if (samples == 0) return 0.0;
+  const unsigned n = spec.num_inputs();
+  std::uint64_t propagating = 0;
+  unsigned pins[32];
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto m = static_cast<std::uint32_t>(rng.below(spec.size()));
+    if (!spec.is_care(m)) continue;  // DC sources never occur: count 0
+    // Uniform k-subset via partial Fisher-Yates over the pin indices.
+    for (unsigned j = 0; j < n; ++j) pins[j] = j;
+    std::uint32_t mask = 0;
+    for (unsigned j = 0; j < k; ++j) {
+      const auto pick = j + static_cast<unsigned>(rng.below(n - j));
+      std::swap(pins[j], pins[pick]);
+      mask |= 1u << pins[j];
+    }
+    if (implementation.is_on(m) != implementation.is_on(m ^ mask))
+      ++propagating;
+  }
+  return static_cast<double>(propagating) / static_cast<double>(samples);
+}
+
+double sampled_error_rate(const IncompleteSpec& implementation,
+                          const IncompleteSpec& spec, unsigned k,
+                          std::uint64_t samples, Rng& rng) {
+  return mean_over_outputs(
+      implementation, spec,
+      [&](const TernaryTruthTable& i, const TernaryTruthTable& s) {
+        return sampled_error_rate(i, s, k, samples, rng);
+      });
+}
+
+}  // namespace rdc

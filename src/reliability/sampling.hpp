@@ -1,0 +1,38 @@
+// Sampled and multi-bit-error generalizations of the error model.
+//
+// The paper argues (Sec. 2) that with uncorrelated, infrequent pin errors
+// the single-bit case dominates; these utilities quantify that argument:
+// exact k-bit error rates (all k-subsets of pins flipped) and a Monte-Carlo
+// estimator that scales past exhaustive enumeration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tt/incomplete_spec.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+/// Exact k-bit input error rate: the fraction of (care source minterm,
+/// k-subset of pins) events on which the implementation differs between
+/// the source and the flipped vector. k = 1 reproduces exact_error_rate.
+double exact_error_rate_kbit(const TernaryTruthTable& implementation,
+                             const TernaryTruthTable& spec, unsigned k);
+
+/// Mean per-output k-bit rate for a multi-output pair.
+double exact_error_rate_kbit(const IncompleteSpec& implementation,
+                             const IncompleteSpec& spec, unsigned k);
+
+/// Monte-Carlo estimate of the k-bit error rate: draws `samples` events
+/// uniformly (source care minterm, uniform k-subset). Standard error is
+/// roughly sqrt(p(1-p)/samples).
+double sampled_error_rate(const TernaryTruthTable& implementation,
+                          const TernaryTruthTable& spec, unsigned k,
+                          std::uint64_t samples, Rng& rng);
+
+double sampled_error_rate(const IncompleteSpec& implementation,
+                          const IncompleteSpec& spec, unsigned k,
+                          std::uint64_t samples, Rng& rng);
+
+}  // namespace rdc

@@ -1,0 +1,39 @@
+#include "sat/cnf.hpp"
+
+#include <stdexcept>
+
+namespace rdc::sat {
+
+std::vector<unsigned> encode_aig(const Aig& aig,
+                                 const std::vector<unsigned>& input_vars,
+                                 Solver& solver) {
+  if (input_vars.size() != aig.num_inputs())
+    throw std::invalid_argument("encode_aig: input variable count mismatch");
+
+  std::vector<unsigned> node_vars(aig.num_nodes());
+  // Node 0 is the constant-false function: freeze a variable to 0.
+  node_vars[0] = solver.new_var();
+  solver.add_clause({Lit(node_vars[0], true)});
+  for (unsigned i = 0; i < aig.num_inputs(); ++i)
+    node_vars[1 + i] = input_vars[i];
+
+  for (std::uint32_t node = aig.num_inputs() + 1; node < aig.num_nodes();
+       ++node) {
+    const unsigned y = solver.new_var();
+    node_vars[node] = y;
+    const Lit a = aig_literal(node_vars, aig.fanin0(node));
+    const Lit b = aig_literal(node_vars, aig.fanin1(node));
+    const Lit out(y, false);
+    // y <-> a & b.
+    solver.add_clause({~out, a});
+    solver.add_clause({~out, b});
+    solver.add_clause({out, ~a, ~b});
+  }
+  return node_vars;
+}
+
+Lit aig_literal(const std::vector<unsigned>& node_vars, std::uint32_t lit) {
+  return Lit(node_vars[aiglit::node_of(lit)], aiglit::is_complemented(lit));
+}
+
+}  // namespace rdc::sat

@@ -1,0 +1,23 @@
+// Tseitin encoding of AIGs into CNF and miter construction.
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace rdc::sat {
+
+/// Encodes an AIG into `solver`. Returns, per AIG node, the solver variable
+/// carrying that node's value; inputs map to `input_vars` (which must have
+/// one variable per AIG input — share them to build miters).
+std::vector<unsigned> encode_aig(const Aig& aig,
+                                 const std::vector<unsigned>& input_vars,
+                                 Solver& solver);
+
+/// Literal of an AIG literal under an encoding returned by encode_aig.
+/// The constant node maps to a frozen false variable created by encode_aig
+/// at index 0 of the returned vector.
+Lit aig_literal(const std::vector<unsigned>& node_vars, std::uint32_t lit);
+
+}  // namespace rdc::sat

@@ -1,0 +1,66 @@
+#include "sat/dimacs.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdc::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string line;
+  bool header_seen = false;
+  std::size_t expected_clauses = 0;
+  Clause current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, fmt;
+      if (!(ls >> p >> fmt >> cnf.num_vars >> expected_clauses) ||
+          fmt != "cnf")
+        throw std::runtime_error("dimacs: malformed problem line");
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen)
+      throw std::runtime_error("dimacs: clause before 'p cnf' header");
+    long lit = 0;
+    while (ls >> lit) {
+      if (lit == 0) {
+        cnf.clauses.push_back(std::move(current));
+        current.clear();
+        continue;
+      }
+      const auto var = static_cast<unsigned>(lit > 0 ? lit : -lit) - 1;
+      if (var >= cnf.num_vars)
+        throw std::runtime_error("dimacs: literal exceeds variable count");
+      current.emplace_back(var, lit < 0);
+    }
+  }
+  if (!header_seen) throw std::runtime_error("dimacs: missing header");
+  if (!current.empty())
+    throw std::runtime_error("dimacs: clause missing terminating 0");
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(const Cnf& cnf, std::ostream& out) {
+  out << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const Clause& clause : cnf.clauses) {
+    for (const Lit l : clause)
+      out << (l.negative() ? "-" : "") << (l.var() + 1) << " ";
+    out << "0\n";
+  }
+}
+
+void add_to_solver(const Cnf& cnf, Solver& solver) {
+  while (solver.num_vars() < cnf.num_vars) solver.new_var();
+  for (const Clause& clause : cnf.clauses) solver.add_clause(clause);
+}
+
+}  // namespace rdc::sat

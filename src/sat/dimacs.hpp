@@ -1,0 +1,30 @@
+// DIMACS CNF import/export for the SAT solver, for interoperability with
+// external solvers and debugging of generated miters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace rdc::sat {
+
+/// A CNF formula in portable form: clause list + variable count.
+struct Cnf {
+  unsigned num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS ("p cnf V C" header, clauses terminated by 0, 'c'
+/// comments). Throws std::runtime_error on malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+
+/// Writes DIMACS.
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+
+/// Loads a CNF into a fresh solver (variables 0..num_vars-1).
+void add_to_solver(const Cnf& cnf, Solver& solver);
+
+}  // namespace rdc::sat

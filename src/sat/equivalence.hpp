@@ -1,0 +1,31 @@
+// SAT-based combinational equivalence checking (miter construction).
+//
+// The exhaustive simulators top out at 20 inputs; the SAT path proves
+// equivalence (or produces a counterexample vector) independent of input
+// count, which is how the flow's output-preserving passes are verified at
+// scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "aig/aig.hpp"
+
+namespace rdc {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// A distinguishing input vector when not equivalent (bit i = input i).
+  std::uint32_t counterexample = 0;
+  /// Output index that differs on the counterexample.
+  unsigned failing_output = 0;
+};
+
+/// Checks that two AIGs with identical interfaces compute the same outputs.
+EquivalenceResult check_equivalence(const Aig& a, const Aig& b);
+
+/// Checks one output pair only.
+EquivalenceResult check_output_equivalence(const Aig& a, const Aig& b,
+                                           unsigned output);
+
+}  // namespace rdc

@@ -1,0 +1,101 @@
+// A small CDCL SAT solver.
+//
+// Conflict-driven clause learning with two-watched-literal propagation,
+// 1UIP learning, VSIDS-style activity, phase saving and geometric
+// restarts — the standard recipe, sized for the CNFs this code base
+// produces (combinational miters of a few thousand gates).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rdc::sat {
+
+/// A literal: variable index (0-based) with sign. Encoded as 2*var + neg.
+class Lit {
+ public:
+  constexpr Lit() = default;
+  constexpr Lit(unsigned var, bool negative)
+      : code_(2 * var + (negative ? 1 : 0)) {}
+
+  unsigned var() const { return code_ >> 1; }
+  bool negative() const { return code_ & 1u; }
+  Lit operator~() const {
+    Lit l;
+    l.code_ = code_ ^ 1u;
+    return l;
+  }
+  std::uint32_t code() const { return code_; }
+  bool operator==(const Lit&) const = default;
+
+ private:
+  std::uint32_t code_ = 0;
+};
+
+using Clause = std::vector<Lit>;
+
+enum class SolveResult { kSat, kUnsat };
+
+class Solver {
+ public:
+  /// Creates a fresh variable and returns its index.
+  unsigned new_var();
+  unsigned num_vars() const { return static_cast<unsigned>(assign_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially unsat).
+  /// Returns false if the instance is already known unsatisfiable.
+  bool add_clause(Clause clause);
+
+  /// Decides satisfiability of the clause set. May be called repeatedly
+  /// (clauses can be added between calls); assumptions are expressed by
+  /// adding unit clauses or by using one solver per query.
+  SolveResult solve();
+
+  /// Value of a variable in the satisfying assignment (valid after kSat).
+  bool model_value(unsigned var) const { return model_[var]; }
+
+  std::uint64_t num_conflicts() const { return conflicts_; }
+  std::uint64_t num_decisions() const { return decisions_; }
+
+ private:
+  enum class Value : std::int8_t { kFalse = 0, kTrue = 1, kUnassigned = 2 };
+
+  struct Watch {
+    std::uint32_t clause = 0;
+  };
+
+  Value value_of(Lit l) const {
+    const Value v = assign_[l.var()];
+    if (v == Value::kUnassigned) return v;
+    const bool b = (v == Value::kTrue) != l.negative();
+    return b ? Value::kTrue : Value::kFalse;
+  }
+
+  void enqueue(Lit l, std::int32_t reason);
+  std::int32_t propagate();  ///< returns conflicting clause index or -1
+  void analyze(std::int32_t conflict, Clause& learnt, unsigned& backtrack);
+  void backtrack_to(unsigned level);
+  void attach_clause(std::uint32_t index);
+  void bump(unsigned var);
+  void decay();
+  unsigned pick_branch_var();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watch>> watches_;  // per literal code
+  std::vector<Value> assign_;
+  std::vector<bool> model_;
+  std::vector<bool> saved_phase_;
+  std::vector<std::int32_t> reason_;  // clause index or -1 (decision)
+  std::vector<unsigned> level_;
+  std::vector<Lit> trail_;
+  std::vector<unsigned> trail_limits_;
+  std::size_t propagate_head_ = 0;
+  std::vector<double> activity_;
+  double activity_increment_ = 1.0;
+  bool unsat_ = false;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace rdc::sat

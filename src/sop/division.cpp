@@ -1,0 +1,93 @@
+#include "sop/division.hpp"
+
+#include <algorithm>
+
+namespace rdc {
+
+bool cube_divides(const Cube& d, const Cube& c) {
+  // d's admitted-value sets must be supersets of c's on every variable d
+  // fixes; that is exactly cube containment c ⊆ d, plus the requirement
+  // that c actually fixes each variable d fixes (no half-free overlap).
+  return d.contains(c);
+}
+
+Cube cube_quotient(const Cube& c, const Cube& d) {
+  // Raise every variable that d fixes.
+  const std::uint32_t fixed = d.mask0 ^ d.mask1;
+  return Cube{c.mask0 | fixed, c.mask1 | fixed};
+}
+
+DivisionResult divide_by_literal(const Cover& f, unsigned var, bool positive) {
+  const unsigned n = f.num_inputs();
+  DivisionResult result{Cover(n), Cover(n)};
+  for (const Cube& c : f.cubes()) {
+    const bool has0 = test_bit(c.mask0, var);
+    const bool has1 = test_bit(c.mask1, var);
+    const bool fixed_here = has0 != has1;
+    if (fixed_here && has1 == positive) {
+      result.quotient.add(c.expanded(var));
+    } else {
+      result.remainder.add(c);
+    }
+  }
+  return result;
+}
+
+DivisionResult weak_divide(const Cover& f, const Cover& divisor) {
+  const unsigned n = f.num_inputs();
+  DivisionResult result{Cover(n), Cover(n)};
+  if (divisor.empty_cover()) {
+    result.remainder = f;
+    return result;
+  }
+
+  // Quotient = intersection over divisor cubes d of { c/d : d | c }.
+  // Computed against the first divisor cube, then filtered by the rest.
+  std::vector<Cube> candidates;
+  for (const Cube& c : f.cubes())
+    if (cube_divides(divisor.cube(0), c))
+      candidates.push_back(cube_quotient(c, divisor.cube(0)));
+
+  std::vector<Cube> quotient;
+  for (const Cube& q : candidates) {
+    bool in_all = true;
+    for (std::size_t i = 1; i < divisor.size() && in_all; ++i) {
+      const Cube needed{q.mask0 & divisor.cube(i).mask0,
+                        q.mask1 & divisor.cube(i).mask1};
+      bool found = false;
+      for (const Cube& c : f.cubes())
+        if (c == needed) {
+          found = true;
+          break;
+        }
+      in_all = found;
+    }
+    if (in_all && std::find(quotient.begin(), quotient.end(), q) ==
+                      quotient.end())
+      quotient.push_back(q);
+  }
+  result.quotient = Cover(n, quotient);
+
+  // Remainder: cubes of F not produced by Q * D.
+  const Cover product = algebraic_product(result.quotient, divisor);
+  for (const Cube& c : f.cubes()) {
+    const bool produced =
+        std::find(product.cubes().begin(), product.cubes().end(), c) !=
+        product.cubes().end();
+    if (!produced) result.remainder.add(c);
+  }
+  return result;
+}
+
+Cover algebraic_product(const Cover& q, const Cover& d) {
+  const unsigned n = q.num_inputs();
+  Cover result(n);
+  for (const Cube& a : q.cubes())
+    for (const Cube& b : d.cubes()) {
+      const Cube prod = a.intersect(b);
+      if (!prod.empty(n)) result.add(prod);
+    }
+  return result;
+}
+
+}  // namespace rdc

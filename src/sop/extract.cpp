@@ -1,0 +1,108 @@
+#include "sop/extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "sop/division.hpp"
+#include "sop/factor.hpp"
+#include "sop/kernel.hpp"
+
+namespace rdc {
+namespace {
+
+/// Canonical text signature of a cube-free cover (sorted cube strings).
+std::string signature_of(const Cover& cover) {
+  std::vector<std::string> cubes;
+  cubes.reserve(cover.size());
+  for (const Cube& c : cover.cubes())
+    cubes.push_back(c.to_string(cover.num_inputs()));
+  std::sort(cubes.begin(), cubes.end());
+  std::string sig;
+  for (const std::string& c : cubes) {
+    sig += c;
+    sig += '|';
+  }
+  return sig;
+}
+
+struct Candidate {
+  Cover kernel{0};
+  std::uint64_t uses = 0;  ///< total quotient cubes across residuals
+  std::uint64_t value = 0;
+};
+
+/// A term of the rewritten output: product of a quotient and a shared
+/// kernel literal.
+struct SharedTerm {
+  Cover quotient;
+  std::uint32_t kernel_literal;
+};
+
+}  // namespace
+
+ExtractionResult build_with_extraction(Aig& aig,
+                                       const std::vector<Cover>& covers,
+                                       unsigned max_kernels) {
+  ExtractionResult result;
+  std::vector<Cover> residual = covers;
+  std::vector<std::vector<SharedTerm>> terms(covers.size());
+
+  for (unsigned round = 0; round < max_kernels; ++round) {
+    // Collect kernel candidates from every residual cover.
+    std::map<std::string, Candidate> candidates;
+    for (const Cover& cover : residual) {
+      for (const Kernel& k : all_kernels(cover, 64)) {
+        if (k.kernel.size() < 2) continue;
+        const std::string sig = signature_of(k.kernel);
+        auto [it, inserted] = candidates.try_emplace(sig);
+        if (inserted) it->second.kernel = k.kernel;
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Value each candidate against the residuals.
+    Candidate* best = nullptr;
+    for (auto& [sig, cand] : candidates) {
+      const std::uint64_t kernel_literals = cand.kernel.literal_count();
+      cand.uses = 0;
+      for (const Cover& cover : residual)
+        cand.uses += weak_divide(cover, cand.kernel).quotient.size();
+      if (cand.uses < 2) continue;
+      // Saving: each extra use re-uses lits(K) literals (minus the wiring).
+      cand.value = (cand.uses - 1) * (kernel_literals > 1
+                                          ? kernel_literals - 1
+                                          : 1);
+      if (!best || cand.value > best->value) best = &cand;
+    }
+    if (!best || best->value == 0) break;
+
+    // Materialize the kernel once and divide every residual by it.
+    const std::uint32_t kernel_lit = aig.build(factor(best->kernel));
+    bool used = false;
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      DivisionResult division = weak_divide(residual[i], best->kernel);
+      if (division.quotient.empty_cover()) continue;
+      terms[i].push_back({std::move(division.quotient), kernel_lit});
+      residual[i] = std::move(division.remainder);
+      used = true;
+    }
+    if (!used) break;
+    ++result.kernels_extracted;
+    result.estimated_savings += best->value;
+  }
+
+  // Assemble each output: OR of (factor(Q_j) & K_j) plus the residual.
+  result.outputs.reserve(covers.size());
+  for (std::size_t i = 0; i < covers.size(); ++i) {
+    std::uint32_t out = aig.build(factor(residual[i]));
+    for (const SharedTerm& term : terms[i]) {
+      const std::uint32_t q = aig.build(factor(term.quotient));
+      out = aig.make_or(out, aig.make_and(q, term.kernel_literal));
+    }
+    result.outputs.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace rdc

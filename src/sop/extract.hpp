@@ -1,0 +1,31 @@
+// Multi-output common-divisor extraction (kernel-extraction "GKX" lite).
+//
+// Independent factoring of each output hides algebraic sharing between
+// outputs; this pass finds kernels that divide several covers (or divide
+// one cover with a multi-cube quotient), materializes each shared kernel
+// once in the AIG, and rewrites the affected outputs as Q*K + R around the
+// shared literal. One level of extraction (kernels over primary inputs),
+// applied greedily by estimated literal savings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "pla/cover.hpp"
+
+namespace rdc {
+
+struct ExtractionResult {
+  std::vector<std::uint32_t> outputs;  ///< one AIG literal per input cover
+  unsigned kernels_extracted = 0;
+  std::uint64_t estimated_savings = 0;  ///< literal-count heuristic
+};
+
+/// Builds every cover into `aig` with cross-output kernel sharing.
+/// Functionally identical to building factor(cover) per output.
+ExtractionResult build_with_extraction(Aig& aig,
+                                       const std::vector<Cover>& covers,
+                                       unsigned max_kernels = 32);
+
+}  // namespace rdc

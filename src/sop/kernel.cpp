@@ -1,0 +1,112 @@
+#include "sop/kernel.hpp"
+
+#include "sop/division.hpp"
+
+namespace rdc {
+namespace {
+
+/// Number of cubes of f containing the literal (var, positive).
+unsigned literal_frequency(const Cover& f, unsigned var, bool positive) {
+  unsigned count = 0;
+  for (const Cube& c : f.cubes()) {
+    const bool has0 = test_bit(c.mask0, var);
+    const bool has1 = test_bit(c.mask1, var);
+    if (has0 != has1 && has1 == positive) ++count;
+  }
+  return count;
+}
+
+void kernels_rec(const Cover& g, unsigned min_literal,
+                 std::vector<Kernel>& out, const Cube& cokernel,
+                 std::size_t max_kernels) {
+  if (out.size() >= max_kernels) return;
+  const unsigned n = g.num_inputs();
+  out.push_back({g, cokernel});
+
+  // Literals are enumerated as 2*var + polarity to impose the canonical
+  // order that prevents duplicate kernels.
+  for (unsigned lit = min_literal; lit < 2 * n; ++lit) {
+    const unsigned var = lit / 2;
+    const bool positive = lit % 2;
+    if (literal_frequency(g, var, positive) < 2) continue;
+
+    Cover quotient = divide_by_literal(g, var, positive).quotient;
+    const Cube cc = common_cube(quotient);
+    // Skip if the common cube contains a literal smaller than `lit` — that
+    // kernel is found via the smaller literal's branch.
+    bool smaller = false;
+    for (unsigned l2 = 0; l2 < lit && !smaller; ++l2) {
+      const unsigned v2 = l2 / 2;
+      const bool p2 = l2 % 2;
+      const bool has0 = test_bit(cc.mask0, v2);
+      const bool has1 = test_bit(cc.mask1, v2);
+      if (has0 != has1 && has1 == p2) smaller = true;
+    }
+    if (smaller) continue;
+
+    Cover cube_free(quotient.num_inputs());
+    for (const Cube& c : quotient.cubes()) cube_free.add(cube_quotient(c, cc));
+
+    Cube new_cokernel = cokernel.intersect(cc);
+    new_cokernel = new_cokernel.restricted(var, positive);
+    kernels_rec(cube_free, lit + 1, out, new_cokernel, max_kernels);
+  }
+}
+
+}  // namespace
+
+Cube common_cube(const Cover& f) {
+  const unsigned n = f.num_inputs();
+  if (f.empty_cover()) return Cube::full(n);
+  // The common cube's admitted sets are the union of the cubes' sets per
+  // variable — a variable stays a literal only if *every* cube fixes it the
+  // same way.
+  Cube cc{0, 0};
+  for (const Cube& c : f.cubes()) {
+    cc.mask0 |= c.mask0;
+    cc.mask1 |= c.mask1;
+  }
+  return cc;
+}
+
+bool is_cube_free(const Cover& f) {
+  if (f.empty_cover()) return true;
+  return common_cube(f) == Cube::full(f.num_inputs());
+}
+
+Cover make_cube_free(const Cover& f) {
+  const Cube cc = common_cube(f);
+  Cover result(f.num_inputs());
+  for (const Cube& c : f.cubes()) result.add(cube_quotient(c, cc));
+  return result;
+}
+
+std::vector<Kernel> all_kernels(const Cover& f, std::size_t max_kernels) {
+  std::vector<Kernel> kernels;
+  if (f.empty_cover()) return kernels;
+  const Cover cube_free = make_cube_free(f);
+  if (cube_free.size() < 2) return kernels;  // a cube has no kernels
+  kernels_rec(cube_free, 0, kernels, Cube::full(f.num_inputs()), max_kernels);
+  return kernels;
+}
+
+Cover level0_kernel(const Cover& f) {
+  const unsigned n = f.num_inputs();
+  Cover current = make_cube_free(f);
+  bool progressed = true;
+  while (progressed && current.size() >= 2) {
+    progressed = false;
+    for (unsigned lit = 0; lit < 2 * n; ++lit) {
+      const unsigned var = lit / 2;
+      const bool positive = lit % 2;
+      if (literal_frequency(current, var, positive) < 2) continue;
+      current = make_cube_free(
+          divide_by_literal(current, var, positive).quotient);
+      progressed = true;
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace rdc

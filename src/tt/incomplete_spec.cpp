@@ -1,0 +1,32 @@
+#include "tt/incomplete_spec.hpp"
+
+namespace rdc {
+
+IncompleteSpec::IncompleteSpec(std::string name, unsigned num_inputs,
+                               unsigned num_outputs)
+    : name_(std::move(name)), num_inputs_(num_inputs) {
+  outputs_.reserve(num_outputs);
+  for (unsigned i = 0; i < num_outputs; ++i)
+    outputs_.emplace_back(num_inputs);
+}
+
+double IncompleteSpec::dc_fraction() const {
+  if (outputs_.empty()) return 0.0;
+  const double total = static_cast<double>(num_minterms(num_inputs_)) *
+                       static_cast<double>(outputs_.size());
+  return static_cast<double>(total_dc_count()) / total;
+}
+
+std::uint64_t IncompleteSpec::total_dc_count() const {
+  std::uint64_t total = 0;
+  for (const auto& f : outputs_) total += f.dc_count();
+  return total;
+}
+
+bool IncompleteSpec::fully_specified() const {
+  for (const auto& f : outputs_)
+    if (!f.fully_specified()) return false;
+  return true;
+}
+
+}  // namespace rdc

@@ -1,0 +1,51 @@
+// Multi-output incompletely specified functions.
+//
+// A `.pla` benchmark (fd-type) defines m outputs over n shared inputs, each
+// output with its own on/off/DC partition. The paper's algorithms treat each
+// output independently; suite-level metrics (complexity factor, error rate)
+// are reported as means across outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+/// A named bundle of single-output ternary functions over shared inputs.
+class IncompleteSpec {
+ public:
+  IncompleteSpec(std::string name, unsigned num_inputs, unsigned num_outputs);
+
+  const std::string& name() const { return name_; }
+  unsigned num_inputs() const { return num_inputs_; }
+  unsigned num_outputs() const {
+    return static_cast<unsigned>(outputs_.size());
+  }
+
+  TernaryTruthTable& output(unsigned i) { return outputs_.at(i); }
+  const TernaryTruthTable& output(unsigned i) const { return outputs_.at(i); }
+
+  std::vector<TernaryTruthTable>& outputs() { return outputs_; }
+  const std::vector<TernaryTruthTable>& outputs() const { return outputs_; }
+
+  /// Fraction of (minterm, output) pairs in the DC-set — the "%DC" column of
+  /// Table 1 in the paper.
+  double dc_fraction() const;
+
+  /// Total number of DC (minterm, output) pairs.
+  std::uint64_t total_dc_count() const;
+
+  /// True iff no output has any DC minterm left.
+  bool fully_specified() const;
+
+  bool operator==(const IncompleteSpec& other) const = default;
+
+ private:
+  std::string name_;
+  unsigned num_inputs_;
+  std::vector<TernaryTruthTable> outputs_;
+};
+
+}  // namespace rdc

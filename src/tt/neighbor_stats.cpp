@@ -1,0 +1,44 @@
+#include "tt/neighbor_stats.hpp"
+
+#include <cassert>
+
+namespace rdc {
+
+NeighborTable::NeighborTable(const TernaryTruthTable& f)
+    : num_inputs_(f.num_inputs()), counts_(f.size()) {
+  // One pass over all ordered neighbor pairs: for each minterm, classify it
+  // once and credit each of its n neighbors.
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    const Phase p = f.phase(m);
+    for (unsigned j = 0; j < num_inputs_; ++j) {
+      NeighborCounts& c = counts_[flip_bit(m, j)];
+      switch (p) {
+        case Phase::kOne:
+          ++c.on;
+          break;
+        case Phase::kZero:
+          ++c.off;
+          break;
+        case Phase::kDc:
+          ++c.dc;
+          break;
+      }
+    }
+  }
+}
+
+unsigned NeighborTable::same_phase_neighbors(const TernaryTruthTable& f,
+                                             std::uint32_t minterm) const {
+  const NeighborCounts& c = counts_[minterm];
+  switch (f.phase(minterm)) {
+    case Phase::kOne:
+      return c.on;
+    case Phase::kZero:
+      return c.off;
+    case Phase::kDc:
+      return c.dc;
+  }
+  return 0;
+}
+
+}  // namespace rdc

@@ -1,0 +1,43 @@
+// Precomputed 1-Hamming-distance neighborhood statistics.
+//
+// Every algorithm in the paper is driven by the phases of a minterm's n
+// neighbors: ranking weights (Fig. 3), complexity factors (Sec. 2.2/4),
+// border counts and error bounds (Sec. 5). NeighborTable computes all
+// per-minterm neighbor counts in one O(n * 2^n) pass and serves them in O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+/// Per-minterm neighbor phase counts for one ternary function.
+struct NeighborCounts {
+  std::uint8_t on = 0;   ///< neighbors in the on-set
+  std::uint8_t off = 0;  ///< neighbors in the off-set
+  std::uint8_t dc = 0;   ///< neighbors in the DC-set
+};
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(const TernaryTruthTable& f);
+
+  const NeighborCounts& at(std::uint32_t minterm) const {
+    return counts_[minterm];
+  }
+
+  unsigned num_inputs() const { return num_inputs_; }
+
+  /// Number of neighbors of `minterm` that share its phase in `f`.
+  /// (The summand of the complexity factor definition.)
+  unsigned same_phase_neighbors(const TernaryTruthTable& f,
+                                std::uint32_t minterm) const;
+
+ private:
+  unsigned num_inputs_;
+  std::vector<NeighborCounts> counts_;
+};
+
+}  // namespace rdc

@@ -1,0 +1,136 @@
+// Tests for the BLIF reader and writer↔reader round trips.
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+#include "common/rng.hpp"
+#include "espresso/espresso.hpp"
+#include "io/blif.hpp"
+#include "io/blif_reader.hpp"
+#include "mapper/tree_map.hpp"
+#include "mapper/unmap.hpp"
+#include "sat/equivalence.hpp"
+#include "sop/factor.hpp"
+
+namespace rdc {
+namespace {
+
+TEST(BlifReader, MinimalModel) {
+  const std::string text = R"(
+# tiny
+.model tiny
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)";
+  const BlifModel model = parse_blif_string(text);
+  EXPECT_EQ(model.name, "tiny");
+  ASSERT_EQ(model.aig.outputs().size(), 1u);
+  const AigSimulator sim(model.aig);
+  for (std::uint32_t m = 0; m < 4; ++m)
+    EXPECT_EQ(sim.literal_value(model.aig.outputs()[0], m), m == 3u);
+}
+
+TEST(BlifReader, ZeroPhaseRows) {
+  // Off-set rows: y = !(a & b).
+  const std::string text =
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+  const BlifModel model = parse_blif_string(text);
+  const AigSimulator sim(model.aig);
+  for (std::uint32_t m = 0; m < 4; ++m)
+    EXPECT_EQ(sim.literal_value(model.aig.outputs()[0], m), m != 3u);
+}
+
+TEST(BlifReader, ConstantsAndMultiLevel) {
+  const std::string text = R"(
+.model c
+.inputs a
+.outputs k0 k1 y
+.names k0
+.names k1
+1
+.names a mid
+0 1
+.names mid k1 y
+11 1
+.end
+)";
+  const BlifModel model = parse_blif_string(text);
+  const AigSimulator sim(model.aig);
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    EXPECT_FALSE(sim.literal_value(model.aig.outputs()[0], m));
+    EXPECT_TRUE(sim.literal_value(model.aig.outputs()[1], m));
+    // y = !a & 1.
+    EXPECT_EQ(sim.literal_value(model.aig.outputs()[2], m), m == 0u);
+  }
+}
+
+TEST(BlifReader, OutOfOrderDefinitions) {
+  // mid is used before it is defined: the reader must resolve lazily.
+  const std::string text = R"(
+.model o
+.inputs a b
+.outputs y
+.names mid b y
+11 1
+.names a mid
+1 1
+.end
+)";
+  const BlifModel model = parse_blif_string(text);
+  const AigSimulator sim(model.aig);
+  for (std::uint32_t m = 0; m < 4; ++m)
+    EXPECT_EQ(sim.literal_value(model.aig.outputs()[0], m), m == 3u);
+}
+
+TEST(BlifReader, LineContinuation) {
+  const std::string text =
+      ".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+  const BlifModel model = parse_blif_string(text);
+  EXPECT_EQ(model.input_names,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(BlifReader, Errors) {
+  EXPECT_THROW(parse_blif_string(".model m\n.outputs y\n.end\n"),
+               std::runtime_error);  // no inputs
+  EXPECT_THROW(
+      parse_blif_string(".model m\n.inputs a\n.outputs y\n.latch a y\n"),
+      std::runtime_error);  // unsupported directive
+  EXPECT_THROW(parse_blif_string(
+                   ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+                   ".names a y\n0 1\n.end\n"),
+               std::runtime_error);  // double definition
+  EXPECT_THROW(parse_blif_string(
+                   ".model m\n.inputs a\n.outputs y\n.names q y\n1 1\n"
+                   ".names y q\n1 1\n.end\n"),
+               std::runtime_error);  // cycle
+  EXPECT_THROW(parse_blif_string(
+                   ".model m\n.inputs a\n.outputs y\n11 1\n.end\n"),
+               std::runtime_error);  // row outside .names
+}
+
+TEST(BlifReader, RoundTripThroughWriter) {
+  Rng rng(941);
+  for (int trial = 0; trial < 8; ++trial) {
+    IncompleteSpec spec("rt", 5, 2);
+    for (auto& f : spec.outputs())
+      for (std::uint32_t m = 0; m < f.size(); ++m)
+        f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+    Aig aig(5);
+    for (const auto& f : spec.outputs())
+      aig.add_output(aig.build(factor(minimize(f))));
+    const Netlist netlist = map_aig(aig, CellLibrary::generic70());
+
+    const BlifModel model = parse_blif_string(to_blif(netlist, "rt"));
+    ASSERT_EQ(model.aig.num_inputs(), 5u);
+    ASSERT_EQ(model.aig.outputs().size(), 2u);
+    // SAT-checked equivalence against the pre-mapping AIG.
+    EXPECT_TRUE(check_equivalence(aig, model.aig).equivalent)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rdc

@@ -1,0 +1,140 @@
+// Unit tests for the common utilities: bit helpers, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace rdc {
+namespace {
+
+TEST(Bits, NumMinterms) {
+  EXPECT_EQ(num_minterms(0), 1u);
+  EXPECT_EQ(num_minterms(1), 2u);
+  EXPECT_EQ(num_minterms(10), 1024u);
+  EXPECT_EQ(num_minterms(20), 1u << 20);
+}
+
+TEST(Bits, HammingDistance) {
+  EXPECT_EQ(hamming_distance(0b0000, 0b0000), 0u);
+  EXPECT_EQ(hamming_distance(0b0100, 0b0110), 1u);
+  EXPECT_EQ(hamming_distance(0b1111, 0b0000), 4u);
+  EXPECT_EQ(hamming_distance(0xFFFFFFFFu, 0u), 32u);
+}
+
+TEST(Bits, FlipBitIsInvolutive) {
+  for (unsigned j = 0; j < 20; ++j) {
+    EXPECT_EQ(flip_bit(flip_bit(12345u, j), j), 12345u);
+    EXPECT_EQ(hamming_distance(12345u, flip_bit(12345u, j)), 1u);
+  }
+}
+
+TEST(Bits, TestBit) {
+  EXPECT_TRUE(test_bit(0b0100, 2));
+  EXPECT_FALSE(test_bit(0b0100, 1));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) any_different |= (a() != b());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[rng.below(8)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> values{3.0, 1.0, 2.0};
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(Stats, NormalCdfSymmetry) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0) + normal_cdf(-1.0), 1.0, 1e-12);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+}
+
+TEST(Stats, FoldedNormalZeroMean) {
+  // E|Z| = sigma * sqrt(2/pi) for zero-mean Gaussians.
+  EXPECT_NEAR(folded_normal_mean(0.0, 1.0), std::sqrt(2.0 / std::numbers::pi),
+              1e-12);
+  EXPECT_NEAR(folded_normal_mean(0.0, 2.0),
+              2.0 * std::sqrt(2.0 / std::numbers::pi), 1e-12);
+}
+
+TEST(Stats, FoldedNormalLargeMeanApproachesMean) {
+  // With mu >> sigma, |Z| ~ Z.
+  EXPECT_NEAR(folded_normal_mean(10.0, 0.5), 10.0, 1e-6);
+}
+
+TEST(Stats, FoldedNormalDegenerateSigma) {
+  EXPECT_DOUBLE_EQ(folded_normal_mean(-3.0, 0.0), 3.0);
+}
+
+TEST(Stats, PoissonPmfSumsToOne) {
+  const double lambda = 3.7;
+  double sum = 0.0;
+  for (unsigned k = 0; k < 80; ++k) sum += poisson_pmf(k, lambda);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Stats, PoissonPmfMeanMatchesLambda) {
+  const double lambda = 2.4;
+  double mean = 0.0;
+  for (unsigned k = 0; k < 80; ++k) mean += k * poisson_pmf(k, lambda);
+  EXPECT_NEAR(mean, lambda, 1e-9);
+}
+
+TEST(Stats, PoissonZeroLambda) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rdc

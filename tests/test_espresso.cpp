@@ -1,0 +1,276 @@
+// Unit and property tests for the ESPRESSO engine: tautology, complement,
+// expand/irredundant/reduce and the full minimization loop.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "espresso/complement.hpp"
+#include "espresso/espresso.hpp"
+#include "espresso/expand.hpp"
+#include "espresso/irredundant.hpp"
+#include "espresso/reduce.hpp"
+#include "espresso/unate.hpp"
+
+namespace rdc {
+namespace {
+
+TernaryTruthTable random_ternary(unsigned n, double dc_prob, Rng& rng) {
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (rng.flip(dc_prob))
+      f.set_phase(m, Phase::kDc);
+    else
+      f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  }
+  return f;
+}
+
+TEST(Unate, TautologyBasics) {
+  Cover empty(3);
+  EXPECT_FALSE(is_tautology(empty));
+
+  Cover full(3);
+  full.add(Cube::full(3));
+  EXPECT_TRUE(is_tautology(full));
+
+  Cover split(1);
+  split.add(Cube::parse("0"));
+  split.add(Cube::parse("1"));
+  EXPECT_TRUE(is_tautology(split));
+
+  Cover half(2);
+  half.add(Cube::parse("1-"));
+  EXPECT_FALSE(is_tautology(half));
+}
+
+TEST(Unate, TautologyNeedsBothBranches) {
+  Cover cover(2);
+  cover.add(Cube::parse("1-"));
+  cover.add(Cube::parse("01"));
+  EXPECT_FALSE(is_tautology(cover));
+  cover.add(Cube::parse("00"));
+  EXPECT_TRUE(is_tautology(cover));
+}
+
+TEST(Unate, TautologyMatchesEnumeration) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned n = 3 + static_cast<unsigned>(rng.below(3));
+    Cover cover(n);
+    const std::uint64_t cubes = 1 + rng.below(6);
+    for (std::uint64_t i = 0; i < cubes; ++i) {
+      Cube c = Cube::full(n);
+      for (unsigned v = 0; v < n; ++v) {
+        const auto r = rng.below(3);
+        if (r != 2) c = c.restricted(v, r == 1);
+      }
+      cover.add(c);
+    }
+    bool covers_all = true;
+    for (std::uint32_t m = 0; m < num_minterms(n) && covers_all; ++m)
+      covers_all = cover.covers_minterm(m);
+    EXPECT_EQ(is_tautology(cover), covers_all) << "trial " << trial;
+  }
+}
+
+TEST(Unate, MostBinateVariable) {
+  Cover cover(3);
+  cover.add(Cube::parse("1-0"));
+  cover.add(Cube::parse("0-1"));
+  const auto v = most_binate_variable(cover);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(*v == 0 || *v == 2);
+
+  Cover unate(3);
+  unate.add(Cube::parse("1--"));
+  unate.add(Cube::parse("-1-"));
+  EXPECT_FALSE(most_binate_variable(unate).has_value());
+}
+
+TEST(Unate, CoverContainsCube) {
+  Cover cover(2);
+  cover.add(Cube::parse("1-"));
+  cover.add(Cube::parse("01"));
+  EXPECT_TRUE(cover_contains_cube(cover, Cube::parse("11")));
+  EXPECT_TRUE(cover_contains_cube(cover, Cube::parse("-1")));
+  EXPECT_FALSE(cover_contains_cube(cover, Cube::parse("-0")));
+}
+
+TEST(Complement, SingleCube) {
+  const Cover comp = complement_cube(Cube::parse("10"), 2);
+  // !(x0 & !x1) — check semantically.
+  for (std::uint32_t m = 0; m < 4; ++m)
+    EXPECT_EQ(comp.covers_minterm(m),
+              !Cube::parse("10").contains_minterm(m, 2));
+}
+
+TEST(Complement, EmptyAndFull) {
+  const Cover empty(3);
+  const Cover comp = complement(empty);
+  EXPECT_TRUE(is_tautology(comp));
+
+  Cover full(3);
+  full.add(Cube::full(3));
+  EXPECT_TRUE(complement(full).empty_cover());
+}
+
+TEST(Complement, MatchesEnumeration) {
+  Rng rng(43);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned n = 3 + static_cast<unsigned>(rng.below(4));
+    Cover cover(n);
+    const std::uint64_t cubes = rng.below(6);
+    for (std::uint64_t i = 0; i < cubes; ++i) {
+      Cube c = Cube::full(n);
+      for (unsigned v = 0; v < n; ++v) {
+        const auto r = rng.below(3);
+        if (r != 2) c = c.restricted(v, r == 1);
+      }
+      cover.add(c);
+    }
+    const Cover comp = complement(cover);
+    for (std::uint32_t m = 0; m < num_minterms(n); ++m)
+      EXPECT_EQ(comp.covers_minterm(m), !cover.covers_minterm(m))
+          << "trial " << trial << " minterm " << m;
+  }
+}
+
+TEST(Expand, RaisesToPrime) {
+  // f = x0 x1 + x0 !x1 should expand to x0.
+  Cover on(2);
+  on.add(Cube::parse("11"));
+  on.add(Cube::parse("10"));
+  Cover off(2);
+  off.add(Cube::parse("0-"));
+  const Cover expanded = expand(on, off);
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded.cube(0).to_string(2), "1-");
+}
+
+TEST(Expand, RespectsOffSet) {
+  Cover on(2);
+  on.add(Cube::parse("11"));
+  Cover off(2);
+  off.add(Cube::parse("00"));
+  const Cover expanded = expand(on, off);
+  // Can expand to 1- or -1 but must not hit 00.
+  for (std::uint32_t m = 0; m < 4; ++m)
+    if (off.covers_minterm(m)) EXPECT_FALSE(expanded.covers_minterm(m));
+  EXPECT_TRUE(expanded.covers_minterm(0b11));
+}
+
+TEST(Irredundant, DropsRedundantCube) {
+  Cover on(2);
+  on.add(Cube::parse("1-"));
+  on.add(Cube::parse("-1"));
+  on.add(Cube::parse("11"));  // covered by either of the others
+  const Cover result = irredundant(on, Cover(2));
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(Irredundant, UsesDcSet) {
+  Cover on(2);
+  on.add(Cube::parse("11"));
+  Cover dc(2);
+  dc.add(Cube::parse("11"));
+  // The only on cube is inside the DC set: droppable.
+  const Cover result = irredundant(on, dc);
+  EXPECT_TRUE(result.empty_cover());
+}
+
+TEST(Reduce, ShrinksOverlap) {
+  // f = 1- + -1; reducing one cube against the other must keep the cover.
+  Cover on(2);
+  on.add(Cube::parse("1-"));
+  on.add(Cube::parse("-1"));
+  const Cover reduced = reduce(on, Cover(2));
+  for (std::uint32_t m = 1; m < 4; ++m)
+    EXPECT_TRUE(reduced.covers_minterm(m)) << m;
+  EXPECT_FALSE(reduced.covers_minterm(0));
+}
+
+TEST(Supercube, OfCover) {
+  Cover cover(3);
+  cover.add(Cube::parse("110"));
+  cover.add(Cube::parse("100"));
+  EXPECT_EQ(supercube(cover).to_string(3), "1-0");
+}
+
+TEST(Espresso, MinimizeSimpleFunction) {
+  // f = x0 x1 + x0 !x1 (+ DC nothing) = x0.
+  TernaryTruthTable f(2);
+  f.set_phase(0b01, Phase::kOne);
+  f.set_phase(0b11, Phase::kOne);
+  const Cover cover = minimize(f);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.cube(0).to_string(2), "1-");
+  EXPECT_TRUE(cover_is_valid_for(cover, f));
+}
+
+TEST(Espresso, UsesDcToMerge) {
+  // on = {00}, dc = {01, 10, 11}: a single full cube suffices.
+  TernaryTruthTable f(2);
+  f.set_phase(0b00, Phase::kOne);
+  f.set_phase(0b01, Phase::kDc);
+  f.set_phase(0b10, Phase::kDc);
+  f.set_phase(0b11, Phase::kDc);
+  const Cover cover = minimize(f);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.cube(0).literal_count(2), 0u);
+}
+
+TEST(Espresso, ConstantFunctions) {
+  TernaryTruthTable zero(3);
+  EXPECT_TRUE(minimize(zero).empty_cover());
+  const TernaryTruthTable one = zero.with_all_dc_assigned(Phase::kZero);
+  EXPECT_TRUE(minimize(one).empty_cover());
+}
+
+TEST(Espresso, ParityIsWorstCase) {
+  // 4-input XOR needs 8 implicants; no DC help available.
+  TernaryTruthTable f(4);
+  for (std::uint32_t m = 0; m < 16; ++m)
+    if (std::popcount(m) % 2) f.set_phase(m, Phase::kOne);
+  const Cover cover = minimize(f);
+  EXPECT_EQ(cover.size(), 8u);
+  EXPECT_TRUE(cover_is_valid_for(cover, f));
+}
+
+TEST(Espresso, RandomFunctionsAreValidAndIrredundant) {
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned n = 4 + static_cast<unsigned>(rng.below(3));
+    const TernaryTruthTable f = random_ternary(n, 0.4, rng);
+    const Cover cover = minimize(f);
+    EXPECT_TRUE(cover_is_valid_for(cover, f)) << "trial " << trial;
+    // Never worse than one cube per on-minterm.
+    EXPECT_LE(cover.size(), f.on_count());
+  }
+}
+
+TEST(Espresso, ConventionalAssignMatchesCover) {
+  Rng rng(53);
+  TernaryTruthTable f = random_ternary(6, 0.5, rng);
+  const TernaryTruthTable original = f;
+  const Cover cover = conventional_assign(f);
+  EXPECT_TRUE(f.fully_specified());
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    // Care minterms unchanged; DCs follow the cover.
+    if (original.is_care(m))
+      EXPECT_EQ(f.phase(m), original.phase(m));
+    else
+      EXPECT_EQ(f.is_on(m), cover.covers_minterm(m));
+  }
+}
+
+TEST(Espresso, MinimalSopSizeOfSpec) {
+  IncompleteSpec spec("two", 2, 2);
+  spec.output(0).set_phase(0b01, Phase::kOne);
+  spec.output(0).set_phase(0b11, Phase::kOne);
+  spec.output(1).set_phase(0b00, Phase::kOne);
+  EXPECT_EQ(minimal_sop_size(spec), 2u);
+}
+
+}  // namespace
+}  // namespace rdc

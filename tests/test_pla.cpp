@@ -1,0 +1,246 @@
+// Unit tests for cubes, covers and .pla parsing/writing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "pla/cover.hpp"
+#include "pla/cube.hpp"
+#include "pla/pla_io.hpp"
+
+namespace rdc {
+namespace {
+
+TEST(Cube, ParseAndToString) {
+  const Cube c = Cube::parse("1-0");
+  EXPECT_EQ(c.to_string(3), "1-0");
+  EXPECT_EQ(c.literal_count(3), 2u);
+  EXPECT_EQ(c.minterm_count(3), 2u);
+}
+
+TEST(Cube, ParseRejectsBadCharacters) {
+  EXPECT_THROW(Cube::parse("10x"), std::invalid_argument);
+}
+
+TEST(Cube, FullAndMinterm) {
+  const Cube full = Cube::full(4);
+  EXPECT_EQ(full.literal_count(4), 0u);
+  EXPECT_EQ(full.minterm_count(4), 16u);
+  const Cube m = Cube::minterm(0b1010, 4);
+  EXPECT_EQ(m.minterm_count(4), 1u);
+  EXPECT_TRUE(m.contains_minterm(0b1010, 4));
+  EXPECT_FALSE(m.contains_minterm(0b1011, 4));
+  EXPECT_EQ(m.to_string(4), "0101");  // variable 0 printed first
+}
+
+TEST(Cube, ContainsMinterm) {
+  const Cube c = Cube::parse("1-0");  // x0=1, x2=0
+  EXPECT_TRUE(c.contains_minterm(0b001, 3));
+  EXPECT_TRUE(c.contains_minterm(0b011, 3));
+  EXPECT_FALSE(c.contains_minterm(0b101, 3));
+  EXPECT_FALSE(c.contains_minterm(0b000, 3));
+}
+
+TEST(Cube, Containment) {
+  const Cube big = Cube::parse("1--");
+  const Cube small = Cube::parse("1-0");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Cube, IntersectionAndEmptiness) {
+  const Cube a = Cube::parse("1--");
+  const Cube b = Cube::parse("0--");
+  EXPECT_TRUE(a.intersect(b).empty(3));
+  EXPECT_FALSE(a.intersects(b, 3));
+  const Cube c = Cube::parse("-1-");
+  EXPECT_TRUE(a.intersects(c, 3));
+  EXPECT_EQ(a.intersect(c).to_string(3), "11-");
+}
+
+TEST(Cube, ExpandAndRestrict) {
+  const Cube c = Cube::parse("10-");
+  EXPECT_EQ(c.expanded(0).to_string(3), "-0-");
+  EXPECT_EQ(c.restricted(2, true).to_string(3), "101");
+}
+
+TEST(Cube, ConflictCount) {
+  const Cube a = Cube::parse("10-");
+  const Cube b = Cube::parse("011");
+  EXPECT_EQ(a.conflict_count(b, 3), 2u);
+  EXPECT_EQ(a.conflict_count(a, 3), 0u);
+}
+
+TEST(Cover, CoversMinterm) {
+  Cover cover(3);
+  cover.add(Cube::parse("1--"));
+  cover.add(Cube::parse("-11"));
+  EXPECT_TRUE(cover.covers_minterm(0b001));   // x0=1
+  EXPECT_TRUE(cover.covers_minterm(0b110));   // x1=1, x2=1
+  EXPECT_FALSE(cover.covers_minterm(0b010));  // x1=1 only
+}
+
+TEST(Cover, LiteralCount) {
+  Cover cover(3);
+  cover.add(Cube::parse("1-0"));
+  cover.add(Cube::parse("111"));
+  EXPECT_EQ(cover.literal_count(), 5u);
+}
+
+TEST(Cover, TruthTableRoundTrip) {
+  Cover cover(3);
+  cover.add(Cube::parse("1--"));
+  const TernaryTruthTable tt = cover.to_truth_table();
+  EXPECT_EQ(tt.on_count(), 4u);
+  const Cover back = Cover::from_phase(tt, Phase::kOne);
+  EXPECT_EQ(back.size(), 4u);
+  for (std::uint32_t m = 0; m < 8; ++m)
+    EXPECT_EQ(back.covers_minterm(m), cover.covers_minterm(m));
+}
+
+TEST(Cover, Cofactor) {
+  Cover cover(3);
+  cover.add(Cube::parse("11-"));
+  cover.add(Cube::parse("0--"));
+  const Cover cof = cover.cofactor(Cube::parse("1--"));
+  // The 0-- cube drops out; 11- has x0 raised.
+  ASSERT_EQ(cof.size(), 1u);
+  EXPECT_EQ(cof.cube(0).to_string(3), "-1-");
+}
+
+TEST(Cover, RemoveSingleCubeContained) {
+  Cover cover(3);
+  cover.add(Cube::parse("1--"));
+  cover.add(Cube::parse("11-"));
+  cover.add(Cube::parse("-0-"));
+  cover.remove_single_cube_contained();
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST(Cover, RemoveDuplicateCubesKeepsOne) {
+  Cover cover(2);
+  cover.add(Cube::parse("1-"));
+  cover.add(Cube::parse("1-"));
+  cover.remove_single_cube_contained();
+  EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST(PlaIo, ParseFdType) {
+  const std::string text = R"(
+# simple example
+.i 2
+.o 2
+.type fd
+.p 3
+11 10
+0- -1
+10 01
+.e
+)";
+  const IncompleteSpec spec = parse_pla_string(text, "simple");
+  EXPECT_EQ(spec.num_inputs(), 2u);
+  EXPECT_EQ(spec.num_outputs(), 2u);
+  // Output 0: minterm 11 -> on, cubes 0- -> DC, rest off.
+  EXPECT_EQ(spec.output(0).phase(0b11), Phase::kOne);
+  EXPECT_EQ(spec.output(0).phase(0b00), Phase::kDc);
+  EXPECT_EQ(spec.output(0).phase(0b10), Phase::kDc);
+  EXPECT_EQ(spec.output(0).phase(0b01), Phase::kZero);
+  // Output 1: 10 (x0=1,x1=0 -> minterm 0b01) -> on.
+  EXPECT_EQ(spec.output(1).phase(0b01), Phase::kOne);
+}
+
+TEST(PlaIo, ParseFrType) {
+  const std::string text = R"(
+.i 2
+.o 1
+.type fr
+11 1
+00 0
+.e
+)";
+  const IncompleteSpec spec = parse_pla_string(text, "fr");
+  EXPECT_EQ(spec.output(0).phase(0b11), Phase::kOne);
+  EXPECT_EQ(spec.output(0).phase(0b00), Phase::kZero);
+  EXPECT_EQ(spec.output(0).phase(0b01), Phase::kDc);
+  EXPECT_EQ(spec.output(0).phase(0b10), Phase::kDc);
+}
+
+TEST(PlaIo, ParseRejectsBadWidth) {
+  EXPECT_THROW(parse_pla_string(".i 2\n.o 1\n111 1\n", "bad"),
+               std::runtime_error);
+}
+
+TEST(PlaIo, ParseRejectsMissingHeader) {
+  EXPECT_THROW(parse_pla_string("11 1\n", "bad"), std::runtime_error);
+}
+
+TEST(PlaIo, WriteParseRoundTrip) {
+  IncompleteSpec spec("roundtrip", 3, 2);
+  spec.output(0).set_phase(1, Phase::kOne);
+  spec.output(0).set_phase(2, Phase::kDc);
+  spec.output(1).set_phase(7, Phase::kOne);
+  spec.output(1).set_phase(0, Phase::kDc);
+
+  std::ostringstream out;
+  write_pla(spec, out);
+  const IncompleteSpec parsed = parse_pla_string(out.str(), "roundtrip");
+  ASSERT_EQ(parsed.num_outputs(), 2u);
+  for (unsigned o = 0; o < 2; ++o)
+    for (std::uint32_t m = 0; m < 8; ++m)
+      EXPECT_EQ(parsed.output(o).phase(m), spec.output(o).phase(m))
+          << "output " << o << " minterm " << m;
+}
+
+TEST(PlaIo, CompactWriterRoundTrips) {
+  IncompleteSpec spec("compact", 4, 2);
+  // Structured function: big cubes so the compact writer actually merges.
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    spec.output(0).set_phase(m, (m & 1) ? Phase::kOne : Phase::kZero);
+    spec.output(1).set_phase(m, (m & 0b11) == 0b10 ? Phase::kDc
+                                                   : Phase::kZero);
+  }
+  std::ostringstream out;
+  write_pla_compact(spec, out);
+  const IncompleteSpec parsed = parse_pla_string(out.str(), "compact");
+  for (unsigned o = 0; o < 2; ++o)
+    EXPECT_EQ(parsed.output(o), spec.output(o)) << "output " << o;
+}
+
+TEST(PlaIo, CompactWriterIsSmaller) {
+  IncompleteSpec spec("size", 6, 2);
+  for (std::uint32_t m = 0; m < 64; ++m) {
+    spec.output(0).set_phase(m, (m & 1) ? Phase::kOne : Phase::kZero);
+    spec.output(1).set_phase(m, (m >> 5) ? Phase::kDc : Phase::kOne);
+  }
+  std::ostringstream full, compact;
+  write_pla(spec, full);
+  write_pla_compact(spec, compact);
+  EXPECT_LT(compact.str().size(), full.str().size() / 4);
+}
+
+TEST(PlaIo, CompactWriterRandomRoundTrips) {
+  Rng rng(857);
+  for (int trial = 0; trial < 8; ++trial) {
+    IncompleteSpec spec("r", 5, 3);
+    for (auto& f : spec.outputs())
+      for (std::uint32_t m = 0; m < f.size(); ++m)
+        f.set_phase(m, static_cast<Phase>(rng.below(3)));
+    std::ostringstream out;
+    write_pla_compact(spec, out);
+    const IncompleteSpec parsed = parse_pla_string(out.str(), "r");
+    for (unsigned o = 0; o < 3; ++o)
+      EXPECT_EQ(parsed.output(o), spec.output(o))
+          << "trial " << trial << " output " << o;
+  }
+}
+
+TEST(PlaIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header\n\n.i 1\n.o 1\n1 1  # trailing comment\n.e\n";
+  const IncompleteSpec spec = parse_pla_string(text, "c");
+  EXPECT_EQ(spec.output(0).phase(1), Phase::kOne);
+}
+
+}  // namespace
+}  // namespace rdc

@@ -1,0 +1,115 @@
+// Tests for the sampled and multi-bit error-rate estimators.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "reliability/error_rate.hpp"
+#include "reliability/sampling.hpp"
+
+namespace rdc {
+namespace {
+
+TernaryTruthTable random_complete(unsigned n, Rng& rng) {
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m)
+    f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  return f;
+}
+
+TEST(KbitErrorRate, OneBitMatchesExact) {
+  Rng rng(401);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TernaryTruthTable impl = random_complete(6, rng);
+    TernaryTruthTable spec = impl;
+    // Carve some DCs out of the spec.
+    for (std::uint32_t m = 0; m < spec.size(); ++m)
+      if (rng.flip(0.3)) spec.set_phase(m, Phase::kDc);
+    EXPECT_DOUBLE_EQ(exact_error_rate_kbit(impl, spec, 1),
+                     exact_error_rate(impl, spec));
+  }
+}
+
+TEST(KbitErrorRate, ParityAlwaysPropagatesOddK) {
+  TernaryTruthTable parity(5);
+  for (std::uint32_t m = 0; m < 32; ++m)
+    if (std::popcount(m) % 2) parity.set_phase(m, Phase::kOne);
+  EXPECT_DOUBLE_EQ(exact_error_rate_kbit(parity, parity, 1), 1.0);
+  EXPECT_DOUBLE_EQ(exact_error_rate_kbit(parity, parity, 3), 1.0);
+  // Even flip counts never change a parity output.
+  EXPECT_DOUBLE_EQ(exact_error_rate_kbit(parity, parity, 2), 0.0);
+  EXPECT_DOUBLE_EQ(exact_error_rate_kbit(parity, parity, 4), 0.0);
+}
+
+TEST(KbitErrorRate, FullFlipOfConjunction) {
+  // f = x0 & x1 on 2 inputs; k = 2 flips 00<->11 and 01<->10.
+  TernaryTruthTable f(2);
+  f.set_phase(0b11, Phase::kOne);
+  // Sources 00 and 11 flip into each other: output changes (2 events).
+  // Sources 01 and 10 swap: both map to 0 (0 events). 2/4 rate.
+  EXPECT_DOUBLE_EQ(exact_error_rate_kbit(f, f, 2), 0.5);
+}
+
+TEST(KbitErrorRate, RejectsBadK) {
+  TernaryTruthTable f(3);
+  EXPECT_THROW(exact_error_rate_kbit(f, f, 0), std::invalid_argument);
+  EXPECT_THROW(exact_error_rate_kbit(f, f, 4), std::invalid_argument);
+}
+
+TEST(KbitErrorRate, DcSourcesExcluded) {
+  TernaryTruthTable impl(3);
+  impl.set_phase(0, Phase::kOne);
+  TernaryTruthTable spec = impl;
+  for (std::uint32_t m = 0; m < 8; ++m) spec.set_phase(m, Phase::kDc);
+  // No care sources at all: rate is exactly 0 for every k.
+  for (unsigned k = 1; k <= 3; ++k)
+    EXPECT_DOUBLE_EQ(exact_error_rate_kbit(impl, spec, k), 0.0);
+}
+
+TEST(SampledErrorRate, ConvergesToExact) {
+  Rng rng(409);
+  const TernaryTruthTable impl = random_complete(8, rng);
+  TernaryTruthTable spec = impl;
+  for (std::uint32_t m = 0; m < spec.size(); ++m)
+    if (rng.flip(0.4)) spec.set_phase(m, Phase::kDc);
+  for (unsigned k : {1u, 2u}) {
+    const double exact = exact_error_rate_kbit(impl, spec, k);
+    const double sampled = sampled_error_rate(impl, spec, k, 60000, rng);
+    // 60k samples: standard error < 0.25%; allow 4 sigma.
+    EXPECT_NEAR(sampled, exact, 4.0 * std::sqrt(0.25 / 60000.0)) << "k=" << k;
+  }
+}
+
+TEST(SampledErrorRate, ZeroSamples) {
+  TernaryTruthTable f(3);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(sampled_error_rate(f, f, 1, 0, rng), 0.0);
+}
+
+TEST(SampledErrorRate, DeterministicGivenRngState) {
+  Rng a(5);
+  Rng b(5);
+  TernaryTruthTable impl(6);
+  Rng init(6);
+  impl = random_complete(6, init);
+  EXPECT_DOUBLE_EQ(sampled_error_rate(impl, impl, 1, 5000, a),
+                   sampled_error_rate(impl, impl, 1, 5000, b));
+}
+
+TEST(SampledErrorRate, MultiOutputMean) {
+  IncompleteSpec impl("s", 4, 2);
+  IncompleteSpec spec("s", 4, 2);
+  for (std::uint32_t m = 0; m < 16; ++m)
+    if (std::popcount(m) % 2) {
+      impl.output(0).set_phase(m, Phase::kOne);
+      spec.output(0).set_phase(m, Phase::kOne);
+    }
+  // Output 0 = parity (rate 1), output 1 = constant (rate 0).
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(sampled_error_rate(impl, spec, 1, 2000, rng), 0.5);
+  EXPECT_DOUBLE_EQ(exact_error_rate_kbit(impl, spec, 1), 0.5);
+}
+
+}  // namespace
+}  // namespace rdc

@@ -1,0 +1,138 @@
+// Tests for the synthetic benchmark generator and the Table-1 suite
+// reconstruction.
+#include <gtest/gtest.h>
+
+#include "benchdata/suite.hpp"
+#include "common/rng.hpp"
+#include "reliability/complexity.hpp"
+#include "synthetic/generator.hpp"
+
+namespace rdc {
+namespace {
+
+TEST(Generator, ExactPhaseCounts) {
+  SyntheticOptions options;
+  options.num_inputs = 8;
+  options.f0 = 0.25;
+  options.f1 = 0.25;
+  options.target_complexity = 0.5;
+  Rng rng(229);
+  const TernaryTruthTable f = generate_function(options, rng);
+  EXPECT_EQ(f.off_count(), 64u);
+  EXPECT_EQ(f.on_count(), 64u);
+  EXPECT_EQ(f.dc_count(), 128u);
+}
+
+TEST(Generator, HitsModerateTargets) {
+  Rng rng(233);
+  for (const double target : {0.35, 0.5, 0.65, 0.8}) {
+    SyntheticOptions options = options_for_target(9, 0.6, target);
+    options.tolerance = 0.01;
+    const TernaryTruthTable f = generate_function(options, rng);
+    EXPECT_NEAR(complexity_factor(f), target, 0.02) << "target " << target;
+  }
+}
+
+TEST(Generator, FullySpecifiedSweep) {
+  // The Fig. 2 regime: no DCs, targets across the range. Note a balanced
+  // (f0 = f1) n-input function cannot exceed C^f = 1 - 1/n (Harper's
+  // isoperimetric bound), so options_for_target skews the probabilities.
+  Rng rng(239);
+  for (const double target : {0.2, 0.5, 0.9}) {
+    SyntheticOptions options = options_for_target(8, 0.0, target);
+    options.tolerance = 0.01;
+    const TernaryTruthTable f = generate_function(options, rng);
+    EXPECT_EQ(f.dc_count(), 0u);
+    EXPECT_NEAR(complexity_factor(f), target, 0.03) << "target " << target;
+  }
+}
+
+TEST(Generator, OptionsForTargetFeasible) {
+  for (const double fdc : {0.0, 0.4, 0.7}) {
+    for (const double target : {0.3, 0.5, 0.7, 0.9}) {
+      const SyntheticOptions options = options_for_target(10, fdc, target);
+      EXPECT_GE(options.f0, options.f1);
+      EXPECT_NEAR(options.f0 + options.f1, 1.0 - fdc, 1e-9);
+    }
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  SyntheticOptions options;
+  options.num_inputs = 7;
+  options.f0 = 0.3;
+  options.f1 = 0.2;
+  Rng a(31337);
+  Rng b(31337);
+  EXPECT_EQ(generate_function(options, a), generate_function(options, b));
+}
+
+TEST(Generator, MultiOutputSpec) {
+  SyntheticOptions options;
+  options.num_inputs = 6;
+  options.num_outputs = 4;
+  options.f0 = 0.25;
+  options.f1 = 0.25;
+  Rng rng(241);
+  const IncompleteSpec spec = generate_spec("multi", options, rng);
+  EXPECT_EQ(spec.num_outputs(), 4u);
+  EXPECT_NEAR(spec.dc_fraction(), 0.5, 0.01);
+  // Outputs must differ (independent draws).
+  EXPECT_NE(spec.output(0), spec.output(1));
+}
+
+TEST(Generator, RejectsBadProbabilities) {
+  SyntheticOptions options;
+  options.f0 = 0.7;
+  options.f1 = 0.7;
+  Rng rng(1);
+  EXPECT_THROW(generate_function(options, rng), std::invalid_argument);
+}
+
+TEST(Suite, SignalSplitSolver) {
+  // t4: %DC=43.9, E[C^f]=.477 -> strongly skewed split.
+  const SignalSplit split = solve_signal_split(43.9, 0.477);
+  EXPECT_NEAR(split.fdc, 0.439, 1e-12);
+  EXPECT_NEAR(split.f0 + split.f1, 0.561, 1e-12);
+  EXPECT_NEAR(split.f0 * split.f0 + split.f1 * split.f1 + split.fdc * split.fdc,
+              0.477, 1e-9);
+  EXPECT_GT(split.f0, split.f1);
+}
+
+TEST(Suite, SignalSplitFallback) {
+  // Infeasible E[C^f] falls back to an even care split.
+  const SignalSplit split = solve_signal_split(50.0, 0.2);
+  EXPECT_NEAR(split.f0, split.f1, 1e-12);
+  EXPECT_NEAR(split.f0 + split.f1 + split.fdc, 1.0, 1e-12);
+}
+
+TEST(Suite, Table1HasTwelveRows) {
+  EXPECT_EQ(table1_info().size(), 12u);
+  EXPECT_EQ(benchmark_info("ex1010").inputs, 10u);
+  EXPECT_THROW(benchmark_info("nonexistent"), std::out_of_range);
+}
+
+TEST(Suite, BenchmarkMatchesSignature) {
+  // Spot-check one small and one skewed benchmark; the full-suite check
+  // lives in the Table-1 harness.
+  for (const char* name : {"bench", "fout"}) {
+    const BenchmarkInfo& info = benchmark_info(name);
+    const IncompleteSpec spec = make_benchmark(info);
+    EXPECT_EQ(spec.num_inputs(), info.inputs);
+    EXPECT_EQ(spec.num_outputs(), info.outputs);
+    EXPECT_NEAR(spec.dc_fraction() * 100.0, info.dc_percent, 1.5)
+        << name;
+    EXPECT_NEAR(complexity_factor(spec), info.target_cf, 0.02) << name;
+    EXPECT_NEAR(expected_complexity_factor(spec), info.expected_cf, 0.02)
+        << name;
+  }
+}
+
+TEST(Suite, BenchmarksAreDeterministic) {
+  const IncompleteSpec a = make_benchmark("bench");
+  const IncompleteSpec b = make_benchmark("bench");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rdc
