@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ties.dir/bench_ablation_ties.cpp.o"
+  "CMakeFiles/bench_ablation_ties.dir/bench_ablation_ties.cpp.o.d"
+  "bench_ablation_ties"
+  "bench_ablation_ties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

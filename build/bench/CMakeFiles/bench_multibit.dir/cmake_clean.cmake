@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multibit.dir/bench_multibit.cpp.o"
+  "CMakeFiles/bench_multibit.dir/bench_multibit.cpp.o.d"
+  "bench_multibit"
+  "bench_multibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

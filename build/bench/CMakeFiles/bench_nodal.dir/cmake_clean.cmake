@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nodal.dir/bench_nodal.cpp.o"
+  "CMakeFiles/bench_nodal.dir/bench_nodal.cpp.o.d"
+  "bench_nodal"
+  "bench_nodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

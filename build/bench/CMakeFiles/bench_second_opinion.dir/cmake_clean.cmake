@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_second_opinion.dir/bench_second_opinion.cpp.o"
+  "CMakeFiles/bench_second_opinion.dir/bench_second_opinion.cpp.o.d"
+  "bench_second_opinion"
+  "bench_second_opinion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_second_opinion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_second_opinion.
+# This may be replaced when dependencies are built.

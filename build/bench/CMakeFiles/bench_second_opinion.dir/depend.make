@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_second_opinion.
+# This may be replaced when dependencies are built.

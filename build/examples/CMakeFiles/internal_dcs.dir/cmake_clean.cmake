@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internal_dcs.dir/internal_dcs.cpp.o"
+  "CMakeFiles/internal_dcs.dir/internal_dcs.cpp.o.d"
+  "internal_dcs"
+  "internal_dcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internal_dcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

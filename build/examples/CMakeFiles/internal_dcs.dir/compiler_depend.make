@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for internal_dcs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for internal_dcs.
+# This may be replaced when dependencies are built.

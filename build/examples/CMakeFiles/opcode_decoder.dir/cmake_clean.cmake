@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcode_decoder.dir/opcode_decoder.cpp.o"
+  "CMakeFiles/opcode_decoder.dir/opcode_decoder.cpp.o.d"
+  "opcode_decoder"
+  "opcode_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcode_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

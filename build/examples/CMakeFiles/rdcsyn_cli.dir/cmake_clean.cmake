@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdcsyn_cli.dir/rdcsyn_cli.cpp.o"
+  "CMakeFiles/rdcsyn_cli.dir/rdcsyn_cli.cpp.o.d"
+  "rdcsyn_cli"
+  "rdcsyn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdcsyn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

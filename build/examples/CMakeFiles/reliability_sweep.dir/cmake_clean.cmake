@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_sweep.dir/reliability_sweep.cpp.o"
+  "CMakeFiles/reliability_sweep.dir/reliability_sweep.cpp.o.d"
+  "reliability_sweep"
+  "reliability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

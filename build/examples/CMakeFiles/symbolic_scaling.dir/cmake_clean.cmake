@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_scaling.dir/symbolic_scaling.cpp.o"
+  "CMakeFiles/symbolic_scaling.dir/symbolic_scaling.cpp.o.d"
+  "symbolic_scaling"
+  "symbolic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

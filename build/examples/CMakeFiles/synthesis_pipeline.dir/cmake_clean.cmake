@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_pipeline.dir/synthesis_pipeline.cpp.o"
+  "CMakeFiles/synthesis_pipeline.dir/synthesis_pipeline.cpp.o.d"
+  "synthesis_pipeline"
+  "synthesis_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

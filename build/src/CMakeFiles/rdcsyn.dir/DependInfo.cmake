@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "src/CMakeFiles/rdcsyn.dir/aig/aig.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/aig/aig.cpp.o.d"
+  "/root/repo/src/aig/balance.cpp" "src/CMakeFiles/rdcsyn.dir/aig/balance.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/aig/balance.cpp.o.d"
+  "/root/repo/src/aig/simulate.cpp" "src/CMakeFiles/rdcsyn.dir/aig/simulate.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/aig/simulate.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/rdcsyn.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/bdd_ops.cpp" "src/CMakeFiles/rdcsyn.dir/bdd/bdd_ops.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/bdd/bdd_ops.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/rdcsyn.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/bdd/reorder.cpp.o.d"
+  "/root/repo/src/benchdata/suite.cpp" "src/CMakeFiles/rdcsyn.dir/benchdata/suite.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/benchdata/suite.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rdcsyn.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/rdcsyn.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/common/stats.cpp.o.d"
+  "/root/repo/src/decomp/aig_eval.cpp" "src/CMakeFiles/rdcsyn.dir/decomp/aig_eval.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/decomp/aig_eval.cpp.o.d"
+  "/root/repo/src/decomp/odc.cpp" "src/CMakeFiles/rdcsyn.dir/decomp/odc.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/decomp/odc.cpp.o.d"
+  "/root/repo/src/decomp/renode.cpp" "src/CMakeFiles/rdcsyn.dir/decomp/renode.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/decomp/renode.cpp.o.d"
+  "/root/repo/src/espresso/complement.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/complement.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/complement.cpp.o.d"
+  "/root/repo/src/espresso/espresso.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/espresso.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/espresso.cpp.o.d"
+  "/root/repo/src/espresso/exact.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/exact.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/exact.cpp.o.d"
+  "/root/repo/src/espresso/expand.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/expand.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/expand.cpp.o.d"
+  "/root/repo/src/espresso/irredundant.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/irredundant.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/irredundant.cpp.o.d"
+  "/root/repo/src/espresso/reduce.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/reduce.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/reduce.cpp.o.d"
+  "/root/repo/src/espresso/unate.cpp" "src/CMakeFiles/rdcsyn.dir/espresso/unate.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/espresso/unate.cpp.o.d"
+  "/root/repo/src/flow/synthesis_flow.cpp" "src/CMakeFiles/rdcsyn.dir/flow/synthesis_flow.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/flow/synthesis_flow.cpp.o.d"
+  "/root/repo/src/io/aiger.cpp" "src/CMakeFiles/rdcsyn.dir/io/aiger.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/io/aiger.cpp.o.d"
+  "/root/repo/src/io/blif.cpp" "src/CMakeFiles/rdcsyn.dir/io/blif.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/io/blif.cpp.o.d"
+  "/root/repo/src/io/blif_reader.cpp" "src/CMakeFiles/rdcsyn.dir/io/blif_reader.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/io/blif_reader.cpp.o.d"
+  "/root/repo/src/io/testbench.cpp" "src/CMakeFiles/rdcsyn.dir/io/testbench.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/io/testbench.cpp.o.d"
+  "/root/repo/src/io/verilog.cpp" "src/CMakeFiles/rdcsyn.dir/io/verilog.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/io/verilog.cpp.o.d"
+  "/root/repo/src/mapper/cell_library.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/cell_library.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/cell_library.cpp.o.d"
+  "/root/repo/src/mapper/liberty.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/liberty.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/liberty.cpp.o.d"
+  "/root/repo/src/mapper/netlist.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/netlist.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/netlist.cpp.o.d"
+  "/root/repo/src/mapper/power.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/power.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/power.cpp.o.d"
+  "/root/repo/src/mapper/subject_graph.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/subject_graph.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/subject_graph.cpp.o.d"
+  "/root/repo/src/mapper/tree_map.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/tree_map.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/tree_map.cpp.o.d"
+  "/root/repo/src/mapper/unmap.cpp" "src/CMakeFiles/rdcsyn.dir/mapper/unmap.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/mapper/unmap.cpp.o.d"
+  "/root/repo/src/pla/cover.cpp" "src/CMakeFiles/rdcsyn.dir/pla/cover.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/pla/cover.cpp.o.d"
+  "/root/repo/src/pla/cube.cpp" "src/CMakeFiles/rdcsyn.dir/pla/cube.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/pla/cube.cpp.o.d"
+  "/root/repo/src/pla/pla_io.cpp" "src/CMakeFiles/rdcsyn.dir/pla/pla_io.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/pla/pla_io.cpp.o.d"
+  "/root/repo/src/reliability/assignment.cpp" "src/CMakeFiles/rdcsyn.dir/reliability/assignment.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/reliability/assignment.cpp.o.d"
+  "/root/repo/src/reliability/complexity.cpp" "src/CMakeFiles/rdcsyn.dir/reliability/complexity.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/reliability/complexity.cpp.o.d"
+  "/root/repo/src/reliability/error_rate.cpp" "src/CMakeFiles/rdcsyn.dir/reliability/error_rate.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/reliability/error_rate.cpp.o.d"
+  "/root/repo/src/reliability/estimates.cpp" "src/CMakeFiles/rdcsyn.dir/reliability/estimates.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/reliability/estimates.cpp.o.d"
+  "/root/repo/src/reliability/sampling.cpp" "src/CMakeFiles/rdcsyn.dir/reliability/sampling.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/reliability/sampling.cpp.o.d"
+  "/root/repo/src/sat/cnf.cpp" "src/CMakeFiles/rdcsyn.dir/sat/cnf.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sat/cnf.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "src/CMakeFiles/rdcsyn.dir/sat/dimacs.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/equivalence.cpp" "src/CMakeFiles/rdcsyn.dir/sat/equivalence.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sat/equivalence.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/rdcsyn.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sop/division.cpp" "src/CMakeFiles/rdcsyn.dir/sop/division.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sop/division.cpp.o.d"
+  "/root/repo/src/sop/extract.cpp" "src/CMakeFiles/rdcsyn.dir/sop/extract.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sop/extract.cpp.o.d"
+  "/root/repo/src/sop/factor.cpp" "src/CMakeFiles/rdcsyn.dir/sop/factor.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sop/factor.cpp.o.d"
+  "/root/repo/src/sop/kernel.cpp" "src/CMakeFiles/rdcsyn.dir/sop/kernel.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/sop/kernel.cpp.o.d"
+  "/root/repo/src/synthetic/generator.cpp" "src/CMakeFiles/rdcsyn.dir/synthetic/generator.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/synthetic/generator.cpp.o.d"
+  "/root/repo/src/tt/incomplete_spec.cpp" "src/CMakeFiles/rdcsyn.dir/tt/incomplete_spec.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/tt/incomplete_spec.cpp.o.d"
+  "/root/repo/src/tt/neighbor_stats.cpp" "src/CMakeFiles/rdcsyn.dir/tt/neighbor_stats.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/tt/neighbor_stats.cpp.o.d"
+  "/root/repo/src/tt/ternary_function.cpp" "src/CMakeFiles/rdcsyn.dir/tt/ternary_function.cpp.o" "gcc" "src/CMakeFiles/rdcsyn.dir/tt/ternary_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aig.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_aig.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_aig.cpp.o.d"
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_bdd.cpp.o.d"
+  "/root/repo/tests/test_blif_reader.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_blif_reader.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_blif_reader.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_coverage.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_coverage.cpp.o.d"
+  "/root/repo/tests/test_decomp.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_decomp.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_decomp.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_espresso.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_espresso.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_espresso.cpp.o.d"
+  "/root/repo/tests/test_estimates.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_estimates.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_estimates.cpp.o.d"
+  "/root/repo/tests/test_exact.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_exact.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_exact.cpp.o.d"
+  "/root/repo/tests/test_extract.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_extract.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_extract.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_liberty.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_liberty.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_liberty.cpp.o.d"
+  "/root/repo/tests/test_mapper.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_mapper.cpp.o.d"
+  "/root/repo/tests/test_pla.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_pla.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_pla.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_reliability.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_reliability.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_reliability.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_sat.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_sat.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_sat.cpp.o.d"
+  "/root/repo/tests/test_sop.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_sop.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_sop.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_tooling.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_tooling.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_tooling.cpp.o.d"
+  "/root/repo/tests/test_tt.cpp" "tests/CMakeFiles/rdcsyn_tests.dir/test_tt.cpp.o" "gcc" "tests/CMakeFiles/rdcsyn_tests.dir/test_tt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdcsyn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
