@@ -4,13 +4,27 @@
 //
 // Expected shape: ~512 implicants as C^f -> 0 (parity-like functions),
 // declining smoothly to 0 as C^f -> 1 (constant functions).
+//
+// Each (target, seed) sample is generated from its own derived seed and
+// fanned out over the pool (RDC_THREADS workers), so the sweep is
+// deterministic at any thread count.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "espresso/espresso.hpp"
 #include "reliability/complexity.hpp"
 #include "synthetic/generator.hpp"
+
+namespace {
+
+struct Point {
+  double cf = 0.0;
+  double implicants = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace rdc;
@@ -19,19 +33,32 @@ int main() {
   std::printf("%8s %10s %10s\n", "target", "C^f", "implicants");
   std::printf("--------------------------------\n");
 
-  Rng rng(0xF162);
+  constexpr std::uint64_t kBaseSeed = 0xF162;
   constexpr int kSeedsPerPoint = 3;
-  for (double target = 0.05; target < 1.0; target += 0.05) {
+  std::vector<double> targets;
+  for (double target = 0.05; target < 1.0; target += 0.05)
+    targets.push_back(target);
+
+  const std::vector<Point> points = bench::parallel_rows<Point>(
+      targets.size() * kSeedsPerPoint, [&](std::size_t task) {
+        const double target = targets[task / kSeedsPerPoint];
+        SyntheticOptions options = options_for_target(10, 0.0, target);
+        options.tolerance = 0.01;
+        Rng rng(kBaseSeed + task);
+        const TernaryTruthTable f = generate_function(options, rng);
+        return Point{complexity_factor(f),
+                     static_cast<double>(minimal_sop_size(f))};
+      });
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
     double cf_sum = 0.0;
     double size_sum = 0.0;
     for (int seed = 0; seed < kSeedsPerPoint; ++seed) {
-      SyntheticOptions options = options_for_target(10, 0.0, target);
-      options.tolerance = 0.01;
-      const TernaryTruthTable f = generate_function(options, rng);
-      cf_sum += complexity_factor(f);
-      size_sum += static_cast<double>(minimal_sop_size(f));
+      const Point& p = points[i * kSeedsPerPoint + seed];
+      cf_sum += p.cf;
+      size_sum += p.implicants;
     }
-    std::printf("%8.2f %10.3f %10.1f\n", target, cf_sum / kSeedsPerPoint,
+    std::printf("%8.2f %10.3f %10.1f\n", targets[i], cf_sum / kSeedsPerPoint,
                 size_sum / kSeedsPerPoint);
   }
 

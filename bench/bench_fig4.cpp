@@ -2,11 +2,22 @@
 // as a function of the fraction of DCs assigned by the ranking-based
 // algorithm. Error rates are normalized to the fully conventional assignment
 // (fraction = 0), so curves start at 1.0 and decrease as more DCs are
-// assigned for reliability.
+// assigned for reliability. Benchmarks fan out over the pool (RDC_THREADS
+// workers); rows print in suite order.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::vector<double> normalized;
+};
+
+}  // namespace
 
 int main() {
   using namespace rdc;
@@ -19,25 +30,36 @@ int main() {
   for (const double f : fractions) std::printf(" %7.1f", f);
   std::printf("\n--------------------------------------------------------\n");
 
+  const auto& specs = bench::suite();
+  const std::vector<Row> rows =
+      bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+        const IncompleteSpec& spec = specs[index];
+        const double baseline =
+            run_flow(spec, DcPolicy::kConventional).error_rate;
+        Row row{spec.name(), {}};
+        row.normalized.reserve(fractions.size());
+        for (const double fraction : fractions) {
+          FlowOptions options;
+          options.ranking_fraction = fraction;
+          const double rate =
+              run_flow(spec, DcPolicy::kRankingFraction, options).error_rate;
+          row.normalized.push_back(bench::normalized(baseline, rate));
+        }
+        return row;
+      });
+
   std::vector<double> mean(fractions.size(), 0.0);
-  for (const IncompleteSpec& spec : bench::suite()) {
-    const double baseline =
-        run_flow(spec, DcPolicy::kConventional).error_rate;
-    std::printf("%-8s", spec.name().c_str());
+  for (const Row& row : rows) {
+    std::printf("%-8s", row.name.c_str());
     for (std::size_t i = 0; i < fractions.size(); ++i) {
-      FlowOptions options;
-      options.ranking_fraction = fractions[i];
-      const double rate =
-          run_flow(spec, DcPolicy::kRankingFraction, options).error_rate;
-      const double norm = bench::normalized(baseline, rate);
-      mean[i] += norm;
-      std::printf(" %7.3f", norm);
+      mean[i] += row.normalized[i];
+      std::printf(" %7.3f", row.normalized[i]);
     }
     std::printf("\n");
   }
   std::printf("%-8s", "mean");
   for (double& m : mean) {
-    m /= static_cast<double>(bench::suite().size());
+    m /= static_cast<double>(rows.size());
     std::printf(" %7.3f", m);
   }
   std::printf("\n");

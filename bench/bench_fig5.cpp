@@ -4,7 +4,9 @@
 // optimization and under power optimization.
 //
 // Normalization is per-benchmark against its fraction-0 (fully
-// conventional) implementation under the same optimizer mode.
+// conventional) implementation under the same optimizer mode. Benchmarks
+// fan out over the pool (RDC_THREADS workers); aggregation is in suite
+// order, so the printed summary is independent of the thread count.
 #include <cstdio>
 #include <vector>
 
@@ -23,6 +25,11 @@ Metrics metrics_of(const rdc::NetlistStats& stats) {
   return {stats.area, stats.delay_ps, stats.power_uw};
 }
 
+/// One benchmark's normalized metrics at every swept fraction.
+struct Row {
+  std::vector<double> area, delay, power;
+};
+
 }  // namespace
 
 int main() {
@@ -36,25 +43,37 @@ int main() {
                    (is_delay ? "delay" : "power") +
                    "-optimized): normalized overhead vs fraction assigned");
 
-    // normalized[metric][fraction] = per-benchmark normalized values.
+    const auto& specs = bench::suite();
+    const std::vector<Row> rows =
+        bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+          const IncompleteSpec& spec = specs[index];
+          FlowOptions base_options;
+          base_options.objective = objective;
+          const Metrics baseline = metrics_of(
+              run_flow(spec, DcPolicy::kConventional, base_options).stats);
+          Row row;
+          for (const double fraction : fractions) {
+            FlowOptions options;
+            options.objective = objective;
+            options.ranking_fraction = fraction;
+            const Metrics m = metrics_of(
+                run_flow(spec, DcPolicy::kRankingFraction, options).stats);
+            row.area.push_back(bench::normalized(baseline.area, m.area));
+            row.delay.push_back(bench::normalized(baseline.delay, m.delay));
+            row.power.push_back(bench::normalized(baseline.power, m.power));
+          }
+          return row;
+        });
+
+    // normalized[fraction] = per-benchmark normalized values.
     std::vector<std::vector<double>> norm_area(fractions.size());
     std::vector<std::vector<double>> norm_delay(fractions.size());
     std::vector<std::vector<double>> norm_power(fractions.size());
-
-    for (const IncompleteSpec& spec : bench::suite()) {
-      FlowOptions base_options;
-      base_options.objective = objective;
-      const Metrics baseline = metrics_of(
-          run_flow(spec, DcPolicy::kConventional, base_options).stats);
+    for (const Row& row : rows) {
       for (std::size_t i = 0; i < fractions.size(); ++i) {
-        FlowOptions options;
-        options.objective = objective;
-        options.ranking_fraction = fractions[i];
-        const Metrics m = metrics_of(
-            run_flow(spec, DcPolicy::kRankingFraction, options).stats);
-        norm_area[i].push_back(bench::normalized(baseline.area, m.area));
-        norm_delay[i].push_back(bench::normalized(baseline.delay, m.delay));
-        norm_power[i].push_back(bench::normalized(baseline.power, m.power));
+        norm_area[i].push_back(row.area[i]);
+        norm_delay[i].push_back(row.delay[i]);
+        norm_power[i].push_back(row.power[i]);
       }
     }
 

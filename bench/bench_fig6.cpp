@@ -6,12 +6,27 @@
 // Expected trends (paper): high-C^f families show the largest error-rate
 // range and the largest area overheads; low-C^f families achieve
 // reliability gains with small or negative area overhead.
+//
+// Each (family, instance) circuit is generated from its own derived seed
+// and fanned out over the pool (RDC_THREADS workers), so the sweep is
+// deterministic at any thread count.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "synthetic/generator.hpp"
+
+namespace {
+
+/// Normalized (area, error) per fraction, for one generated circuit.
+struct Trajectory {
+  std::vector<double> area;
+  std::vector<double> error;
+};
+
+}  // namespace
 
 int main() {
   using namespace rdc;
@@ -24,33 +39,46 @@ int main() {
   constexpr int kFunctionsPerFamily = 4;  // paper used 10; 4 keeps runtime low
   constexpr unsigned kInputs = 11;
   constexpr unsigned kOutputs = 11;
+  constexpr std::uint64_t kBaseSeed = 0xF165;
 
-  Rng rng(0xF165);
-  for (const double family_cf : families) {
-    std::printf("\nFamily C^f = %.2f\n", family_cf);
+  const std::vector<Trajectory> runs = bench::parallel_rows<Trajectory>(
+      families.size() * kFunctionsPerFamily, [&](std::size_t task) {
+        const double family_cf = families[task / kFunctionsPerFamily];
+        SyntheticOptions options = options_for_target(kInputs, 0.6, family_cf);
+        options.num_outputs = kOutputs;
+        options.tolerance = 0.01;
+        Rng rng(kBaseSeed + task);
+        const IncompleteSpec spec = generate_spec(
+            "fig6_cf" + std::to_string(family_cf), options, rng);
+        const FlowResult baseline = run_flow(spec, DcPolicy::kConventional);
+        Trajectory t;
+        for (const double fraction : fractions) {
+          FlowOptions fo;
+          fo.ranking_fraction = fraction;
+          const FlowResult r = run_flow(spec, DcPolicy::kRankingFraction, fo);
+          t.area.push_back(bench::normalized(baseline.stats.area,
+                                             r.stats.area));
+          t.error.push_back(bench::normalized(baseline.error_rate,
+                                              r.error_rate));
+        }
+        return t;
+      });
+
+  for (std::size_t fam = 0; fam < families.size(); ++fam) {
+    std::printf("\nFamily C^f = %.2f\n", families[fam]);
     std::printf("%8s %12s %12s\n", "fraction", "norm. area", "norm. error");
-
-    std::vector<double> area_sum(fractions.size(), 0.0);
-    std::vector<double> error_sum(fractions.size(), 0.0);
-    for (int k = 0; k < kFunctionsPerFamily; ++k) {
-      SyntheticOptions options = options_for_target(kInputs, 0.6, family_cf);
-      options.num_outputs = kOutputs;
-      options.tolerance = 0.01;
-      const IncompleteSpec spec = generate_spec(
-          "fig6_cf" + std::to_string(family_cf), options, rng);
-      const FlowResult baseline = run_flow(spec, DcPolicy::kConventional);
-      for (std::size_t i = 0; i < fractions.size(); ++i) {
-        FlowOptions fo;
-        fo.ranking_fraction = fractions[i];
-        const FlowResult r = run_flow(spec, DcPolicy::kRankingFraction, fo);
-        area_sum[i] += bench::normalized(baseline.stats.area, r.stats.area);
-        error_sum[i] += bench::normalized(baseline.error_rate, r.error_rate);
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      double area_sum = 0.0;
+      double error_sum = 0.0;
+      for (int k = 0; k < kFunctionsPerFamily; ++k) {
+        const Trajectory& t = runs[fam * kFunctionsPerFamily + k];
+        area_sum += t.area[i];
+        error_sum += t.error[i];
       }
-    }
-    for (std::size_t i = 0; i < fractions.size(); ++i)
       std::printf("%8.2f %12.3f %12.3f\n", fractions[i],
-                  area_sum[i] / kFunctionsPerFamily,
-                  error_sum[i] / kFunctionsPerFamily);
+                  area_sum / kFunctionsPerFamily,
+                  error_sum / kFunctionsPerFamily);
+    }
   }
   return 0;
 }

@@ -1,7 +1,10 @@
 // Microbenchmarks (google-benchmark) for the computational kernels:
-// ESPRESSO minimization, DC-assignment passes, exact error analysis, BDD
-// construction and the mapper. These track the cost of the building blocks
-// the experiment harnesses are made of.
+// the word-parallel kernel layer (exact error rate, NeighborTable,
+// complexity factor — each against its scalar reference), ESPRESSO
+// minimization, DC-assignment passes, BDD construction and the mapper.
+// These track the cost of the building blocks the experiment harnesses are
+// made of; bench/run_bench_baseline.sh snapshots the kernel group into
+// BENCH_kernels.json so the perf trajectory is recorded across PRs.
 #include <benchmark/benchmark.h>
 
 #include "aig/balance.hpp"
@@ -14,9 +17,11 @@
 #include "reliability/assignment.hpp"
 #include "reliability/complexity.hpp"
 #include "reliability/error_rate.hpp"
+#include "reliability/sampling.hpp"
 #include "sat/equivalence.hpp"
 #include "sop/extract.hpp"
 #include "sop/factor.hpp"
+#include "tt/neighbor_stats.hpp"
 
 namespace {
 
@@ -33,6 +38,58 @@ TernaryTruthTable random_ternary(unsigned n, double dc, std::uint64_t seed) {
   }
   return f;
 }
+
+// --- Kernel layer: word-parallel vs scalar reference ---------------------
+
+void BM_ExactErrorRate(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable spec = random_ternary(n, 0.6, 90);
+  const TernaryTruthTable impl = spec.with_all_dc_assigned(Phase::kZero);
+  for (auto _ : state) benchmark::DoNotOptimize(exact_error_rate(impl, spec));
+}
+BENCHMARK(BM_ExactErrorRate)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ExactErrorRateScalar(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable spec = random_ternary(n, 0.6, 90);
+  const TernaryTruthTable impl = spec.with_all_dc_assigned(Phase::kZero);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact_error_rate_scalar(impl, spec));
+}
+BENCHMARK(BM_ExactErrorRateScalar)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_NeighborTable(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 91);
+  for (auto _ : state) benchmark::DoNotOptimize(NeighborTable(f));
+}
+BENCHMARK(BM_NeighborTable)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_NeighborTableScalar(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 91);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(NeighborTable::build_scalar(f));
+}
+BENCHMARK(BM_NeighborTableScalar)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ComplexityFactorScalar(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable f = random_ternary(n, 0.6, 81);
+  for (auto _ : state) benchmark::DoNotOptimize(complexity_factor_scalar(f));
+}
+BENCHMARK(BM_ComplexityFactorScalar)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_ErrorRateKbit(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const TernaryTruthTable spec = random_ternary(n, 0.6, 92);
+  const TernaryTruthTable impl = spec.with_all_dc_assigned(Phase::kOne);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact_error_rate_kbit(impl, spec, 2));
+}
+BENCHMARK(BM_ErrorRateKbit)->Arg(8)->Arg(12)->Arg(16);
+
+// -------------------------------------------------------------------------
 
 void BM_EspressoMinimize(benchmark::State& state) {
   const auto n = static_cast<unsigned>(state.range(0));

@@ -6,13 +6,29 @@
 //     equal-fraction protocol), and
 //   * complete reliability-driven assignment.
 // Reported numbers are percent improvements (negative = overhead) in mapped
-// area and in exact input-error rate.
+// area and in exact input-error rate. Benchmarks fan out over the pool
+// (RDC_THREADS workers), one circuit per task; rows print in suite order.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "reliability/assignment.hpp"
 #include "reliability/complexity.hpp"
 #include "reliability/error_rate.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  unsigned inputs = 0;
+  unsigned outputs = 0;
+  double cf = 0.0;
+  double lc_area = 0.0, lc_er = 0.0;
+  double rk_area = 0.0, rk_er = 0.0;
+  double cp_area = 0.0, cp_er = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace rdc;
@@ -25,47 +41,55 @@ int main() {
   std::printf(
       "----------------------------------------------------------------------\n");
 
-  for (const IncompleteSpec& spec : bench::suite()) {
-    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
+  const auto& specs = bench::suite();
+  const std::vector<Row> rows =
+      bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+        const IncompleteSpec& spec = specs[index];
+        const FlowResult conventional =
+            run_flow(spec, DcPolicy::kConventional);
 
-    // LC^f-based.
-    FlowOptions lcf_options;
-    lcf_options.lcf_threshold = kThreshold;
-    const FlowResult lcf = run_flow(spec, DcPolicy::kLcfThreshold,
-                                    lcf_options);
+        // LC^f-based.
+        FlowOptions lcf_options;
+        lcf_options.lcf_threshold = kThreshold;
+        const FlowResult lcf =
+            run_flow(spec, DcPolicy::kLcfThreshold, lcf_options);
 
-    // Ranking-based at the same per-output fraction as the LC^f pass.
-    // run_flow sees the pre-assigned spec, so its error_rate field would be
-    // measured against the enlarged care set; recompute against the
-    // original specification.
-    IncompleteSpec ranked = spec;
-    for (unsigned o = 0; o < spec.num_outputs(); ++o) {
-      IncompleteSpec probe = spec;
-      const AssignmentResult r =
-          lcf_assign(probe.output(o), kThreshold);
-      ranking_assign_count(ranked.output(o), r.assigned);
-    }
-    FlowResult ranking = run_flow(ranked, DcPolicy::kConventional);
-    ranking.error_rate = exact_error_rate(ranking.implementation, spec);
+        // Ranking-based at the same per-output fraction as the LC^f pass.
+        // run_flow sees the pre-assigned spec, so its error_rate field
+        // would be measured against the enlarged care set; recompute
+        // against the original specification.
+        IncompleteSpec ranked = spec;
+        for (unsigned o = 0; o < spec.num_outputs(); ++o) {
+          IncompleteSpec probe = spec;
+          const AssignmentResult r = lcf_assign(probe.output(o), kThreshold);
+          ranking_assign_count(ranked.output(o), r.assigned);
+        }
+        FlowResult ranking = run_flow(ranked, DcPolicy::kConventional);
+        ranking.error_rate = exact_error_rate(ranking.implementation, spec);
 
-    // Complete reliability-driven assignment.
-    const FlowResult complete = run_flow(spec, DcPolicy::kAllReliability);
+        // Complete reliability-driven assignment.
+        const FlowResult complete = run_flow(spec, DcPolicy::kAllReliability);
 
-    const auto area_impr = [&](const FlowResult& r) {
-      return bench::improvement_percent(conventional.stats.area,
-                                        r.stats.area);
-    };
-    const auto er_impr = [&](const FlowResult& r) {
-      return bench::improvement_percent(conventional.error_rate,
-                                        r.error_rate);
-    };
+        const auto area_impr = [&](const FlowResult& r) {
+          return bench::improvement_percent(conventional.stats.area,
+                                            r.stats.area);
+        };
+        const auto er_impr = [&](const FlowResult& r) {
+          return bench::improvement_percent(conventional.error_rate,
+                                            r.error_rate);
+        };
+        return Row{spec.name(),      spec.num_inputs(),
+                   spec.num_outputs(), complexity_factor(spec),
+                   area_impr(lcf),   er_impr(lcf),
+                   area_impr(ranking), er_impr(ranking),
+                   area_impr(complete), er_impr(complete)};
+      });
+
+  for (const Row& row : rows)
     std::printf(
         "%-8s %2u/%-2u | %6.3f | %7.1f %7.1f | %7.1f %7.1f | %7.1f %7.1f\n",
-        spec.name().c_str(), spec.num_inputs(), spec.num_outputs(),
-        complexity_factor(spec), area_impr(lcf), er_impr(lcf),
-        area_impr(ranking), er_impr(ranking), area_impr(complete),
-        er_impr(complete));
-  }
+        row.name.c_str(), row.inputs, row.outputs, row.cf, row.lc_area,
+        row.lc_er, row.rk_area, row.rk_er, row.cp_area, row.cp_er);
   bench::note(
       "\nColumns: percent improvement over conventional assignment\n"
       "(negative = overhead). LC = LC^f-based (threshold 0.55), RK =\n"

@@ -3,12 +3,28 @@
 // bounds, the signal-probability-based estimate, the border-based estimate,
 // the realized error rate under conventional assignment (with % distance
 // from the exact minimum), and the realized rate under LC^f-based
-// assignment (with % distance).
+// assignment (with % distance). Benchmarks fan out over the pool
+// (RDC_THREADS workers); rows print in suite order.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "reliability/error_rate.hpp"
 #include "reliability/estimates.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::size_t gates = 0;
+  rdc::RateBounds exact;
+  rdc::EstimatedBounds signal;
+  rdc::EstimatedBounds border;
+  double conv_rate = 0.0, conv_diff = 0.0;
+  double lcf_rate = 0.0, lcf_diff = 0.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace rdc;
@@ -21,32 +37,46 @@ int main() {
       "--------------------------------------------------------------------"
       "-----------------\n");
 
+  const auto& specs = bench::suite();
+  const std::vector<Row> rows =
+      bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+        const IncompleteSpec& spec = specs[index];
+        Row row;
+        row.name = spec.name();
+        row.exact = exact_error_bounds(spec);
+        row.signal = signal_probability_bounds(spec);
+        row.border = border_bounds(spec);
+
+        const FlowResult conventional =
+            run_flow(spec, DcPolicy::kConventional);
+        const FlowResult lcf = run_flow(spec, DcPolicy::kLcfThreshold);
+
+        const auto pct_diff = [&](double rate) {
+          return row.exact.min > 0.0
+                     ? (rate - row.exact.min) / row.exact.min * 100.0
+                     : 0.0;
+        };
+        row.gates = conventional.stats.gates;
+        row.conv_rate = conventional.error_rate;
+        row.conv_diff = pct_diff(conventional.error_rate);
+        row.lcf_rate = lcf.error_rate;
+        row.lcf_diff = pct_diff(lcf.error_rate);
+        return row;
+      });
+
   double conv_diff_sum = 0.0;
   double lcf_diff_sum = 0.0;
-  for (const IncompleteSpec& spec : bench::suite()) {
-    const RateBounds exact = exact_error_bounds(spec);
-    const EstimatedBounds signal = signal_probability_bounds(spec);
-    const EstimatedBounds border = border_bounds(spec);
-
-    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
-    const FlowResult lcf = run_flow(spec, DcPolicy::kLcfThreshold);
-
-    const auto pct_diff = [&](double rate) {
-      return exact.min > 0.0 ? (rate - exact.min) / exact.min * 100.0 : 0.0;
-    };
-    const double conv_diff = pct_diff(conventional.error_rate);
-    const double lcf_diff = pct_diff(lcf.error_rate);
-    conv_diff_sum += conv_diff;
-    lcf_diff_sum += lcf_diff;
-
+  for (const Row& row : rows) {
+    conv_diff_sum += row.conv_diff;
+    lcf_diff_sum += row.lcf_diff;
     std::printf(
         "%-8s %6zu | %6.3f %6.3f | %6.3f %6.3f | %6.3f %6.3f | %6.3f %7.1f "
         "| %6.3f %7.1f\n",
-        spec.name().c_str(), conventional.stats.gates, exact.min, exact.max,
-        signal.min, signal.max, border.min, border.max,
-        conventional.error_rate, conv_diff, lcf.error_rate, lcf_diff);
+        row.name.c_str(), row.gates, row.exact.min, row.exact.max,
+        row.signal.min, row.signal.max, row.border.min, row.border.max,
+        row.conv_rate, row.conv_diff, row.lcf_rate, row.lcf_diff);
   }
-  const double count = static_cast<double>(bench::suite().size());
+  const double count = static_cast<double>(rows.size());
   std::printf("%-8s %6s | %6s %6s | %6s %6s | %6s %6s | %6s %7.1f | %6s %7.1f\n",
               "Average", "", "", "", "", "", "", "", "", conv_diff_sum / count,
               "", lcf_diff_sum / count);

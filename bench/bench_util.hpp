@@ -1,5 +1,6 @@
 // Shared helpers for the experiment harnesses: suite access with in-process
-// caching, fixed-width table printing, and normalization utilities.
+// caching, per-circuit fan-out over the process-wide thread pool,
+// fixed-width table printing, and normalization utilities.
 #pragma once
 
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "benchdata/suite.hpp"
+#include "common/thread_pool.hpp"
 #include "flow/synthesis_flow.hpp"
 
 namespace rdc::bench {
@@ -24,6 +26,19 @@ inline void heading(const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Computes fn(0..count-1) on the shared pool (RDC_THREADS workers) and
+/// returns the results in index order — the harnesses' per-circuit fan-out.
+/// Results print sequentially afterwards, so table rows stay deterministic
+/// regardless of the thread count.
+template <typename Row, typename Fn>
+std::vector<Row> parallel_rows(std::size_t count, Fn fn) {
+  std::vector<Row> rows(count);
+  ThreadPool::global().parallel_for(0, count, [&](std::uint64_t i) {
+    rows[i] = fn(static_cast<std::size_t>(i));
+  });
+  return rows;
+}
 
 /// Percent improvement of `value` relative to `baseline` (positive = better
 /// = smaller), matching the sign convention of the paper's Table 2.

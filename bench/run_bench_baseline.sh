@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Snapshots the kernel-layer microbenchmarks into BENCH_kernels.json so
+# future PRs can track the perf trajectory of the word-parallel kernels
+# against their scalar references.
+#
+# Usage: bench/run_bench_baseline.sh [build-dir] [output-json]
+# Defaults: build-dir = build, output = BENCH_kernels.json (repo root).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+output="${2:-$repo_root/BENCH_kernels.json}"
+
+bench_micro="$build_dir/bench/bench_micro"
+if [[ ! -x "$bench_micro" ]]; then
+  echo "bench_micro not found at $bench_micro — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target bench_micro" >&2
+  exit 1
+fi
+
+"$bench_micro" \
+  --benchmark_filter='BM_(ExactErrorRate|ExactErrorRateScalar|NeighborTable|NeighborTableScalar|ComplexityFactor|ComplexityFactorScalar|ErrorRateKbit)(/|$)' \
+  --benchmark_out="$output" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo
+echo "Kernel benchmark snapshot written to $output"
+
+# Report the headline word-parallel vs scalar speedups when python3 is
+# around (informational only; the JSON is the artifact).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$output" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    data = json.load(fh)
+times = {b["name"]: b["real_time"] for b in data["benchmarks"]}
+print("\nword-parallel speedup over scalar reference:")
+for kernel in ("BM_ExactErrorRate", "BM_NeighborTable", "BM_ComplexityFactor"):
+    for arg in (8, 10, 12, 14, 16, 20):
+        fast = times.get(f"{kernel}/{arg}")
+        slow = times.get(f"{kernel}Scalar/{arg}")
+        if fast and slow:
+            print(f"  {kernel}/{arg}: {slow / fast:.1f}x")
+EOF
+fi

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 configure/build/ctest line from ROADMAP.md, followed
+# by an ASan+UBSan build of the unit tests to catch memory and UB bugs the
+# release build hides (the word-parallel kernels and the thread pool are
+# exactly the kind of code sanitizers pay off on).
+#
+# Usage: scripts/check.sh [--no-sanitizers]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+run_sanitizers=1
+if [[ "${1:-}" == "--no-sanitizers" ]]; then
+  run_sanitizers=0
+fi
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$run_sanitizers" == "1" ]]; then
+  echo
+  echo "== ASan+UBSan build of the unit tests =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan -j --target rdcsyn_tests
+  (cd build-asan && ctest --output-on-failure -j)
+fi
+
+echo
+echo "All checks passed."

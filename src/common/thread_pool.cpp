@@ -1,0 +1,146 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace rdc {
+namespace {
+
+/// True on threads currently executing a parallel_for body; nested calls
+/// run inline instead of re-entering the pool.
+thread_local bool tls_in_parallel_region = false;
+
+void run_inline(std::uint64_t begin, std::uint64_t end,
+                const std::function<void(std::uint64_t)>& fn) {
+  for (std::uint64_t i = begin; i < end; ++i) fn(i);
+}
+
+/// One parallel_for invocation. Workers each hold their own shared_ptr, so
+/// a straggler waking after the job completed sees exhausted counters and
+/// exits without ever touching a newer job's state.
+struct Job {
+  std::uint64_t end = 0;
+  const std::function<void(std::uint64_t)>* fn = nullptr;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> pending{0};
+
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::exception_ptr first_error;
+
+  /// Pulls indices until the job is exhausted. The owning parallel_for
+  /// call outlives every index (it waits on `pending`), so `*fn` stays
+  /// valid for the whole loop.
+  void work() {
+    tls_in_parallel_region = true;
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.notify_all();
+      }
+    }
+    tls_in_parallel_region = false;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  bool shutting_down = false;
+  std::uint64_t generation = 0;
+  std::shared_ptr<Job> current;
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] {
+          return shutting_down || generation != seen_generation;
+        });
+        if (shutting_down) return;
+        seen_generation = generation;
+        job = current;
+      }
+      job->work();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = 1;
+  num_threads_ = num_threads;
+  if (num_threads_ <= 1) return;
+  impl_ = new Impl;
+  impl_->workers.reserve(num_threads_ - 1);
+  for (unsigned t = 0; t + 1 < num_threads_; ++t)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
+                              const std::function<void(std::uint64_t)>& fn) {
+  if (begin >= end) return;
+  if (!impl_ || tls_in_parallel_region || end - begin == 1) {
+    run_inline(begin, end, fn);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->end = end;
+  job->fn = &fn;
+  job->next.store(begin, std::memory_order_relaxed);
+  job->pending.store(end - begin, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current = job;
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  job->work();  // the calling thread is one of the pool's threads
+  std::unique_lock<std::mutex> lock(job->done_mutex);
+  job->done.wait(lock, [&] {
+    return job->pending.load(std::memory_order_acquire) == 0;
+  });
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const char* env = std::getenv("RDC_THREADS");
+    if (env == nullptr || *env == '\0') return 0u;
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<unsigned>(parsed) : 0u;
+  }());
+  return pool;
+}
+
+}  // namespace rdc

@@ -1,0 +1,52 @@
+// Fixed-size worker pool with a parallel_for primitive.
+//
+// The reliability stack fans out along two embarrassingly parallel axes:
+// per-output passes inside a flow (each output of a multi-output spec is
+// assigned/minimized independently) and per-circuit runs inside the
+// experiment harnesses. ThreadPool serves both through one shared pool so
+// the process never oversubscribes the machine.
+//
+// Sizing: ThreadPool::global() reads the RDC_THREADS environment variable
+// (0 or unset -> std::thread::hardware_concurrency()). With one thread the
+// pool runs everything inline, so single-core environments and
+// RDC_THREADS=1 debugging behave exactly like the serial code. Nested
+// parallel_for calls (a flow inside an already-parallel harness loop) also
+// run inline on the calling worker rather than deadlocking on pool slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rdc {
+
+class ThreadPool {
+ public:
+  /// Pool with `num_threads` workers total (including the caller, which
+  /// participates in parallel_for). 0 selects hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Invokes fn(i) for every i in [begin, end), distributing indices across
+  /// the pool; blocks until every index has completed. The first exception
+  /// thrown by any fn is rethrown on the calling thread (remaining indices
+  /// still run). Calls from inside a worker run inline.
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  /// Process-wide pool sized from RDC_THREADS (see file comment). The env
+  /// var is read once, on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  // null when the pool is single-threaded
+  unsigned num_threads_ = 1;
+};
+
+}  // namespace rdc

@@ -5,6 +5,7 @@
 
 #include "aig/aig.hpp"
 #include "aig/balance.hpp"
+#include "common/thread_pool.hpp"
 #include "decomp/renode.hpp"
 #include "espresso/espresso.hpp"
 #include "reliability/error_rate.hpp"
@@ -50,13 +51,17 @@ Netlist synthesize_covers(unsigned num_inputs,
 }  // namespace
 
 Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
-  std::vector<Cover> covers;
-  covers.reserve(assigned.num_outputs());
-  for (const auto& f : assigned.outputs()) {
+  for (const auto& f : assigned.outputs())
     if (!f.fully_specified())
       throw std::invalid_argument("synthesize: spec must be fully assigned");
-    covers.push_back(minimize(f));
-  }
+  // Outputs are minimized independently; fan the ESPRESSO passes out over
+  // the process-wide pool (RDC_THREADS).
+  std::vector<Cover> covers(assigned.num_outputs(),
+                            Cover(assigned.num_inputs()));
+  ThreadPool::global().parallel_for(
+      0, assigned.num_outputs(), [&](std::uint64_t o) {
+        covers[o] = minimize(assigned.output(static_cast<unsigned>(o)));
+      });
   return synthesize_covers(assigned.num_inputs(), covers, objective,
                            /*resyn_recipe=*/false, /*use_extraction=*/false,
                            CellLibrary::generic70());
@@ -88,10 +93,15 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
 
   // Conventional assignment of whatever the reliability pass left as DC —
   // exactly what handing the partially assigned .pla to the optimizer does
-  // in the paper's flow. The minimized covers double as the synthesis input.
-  std::vector<Cover> covers;
-  covers.reserve(working.num_outputs());
-  for (auto& f : working.outputs()) covers.push_back(conventional_assign(f));
+  // in the paper's flow. The minimized covers double as the synthesis
+  // input. Each output is independent, so the ESPRESSO passes fan out over
+  // the process-wide pool (RDC_THREADS).
+  std::vector<Cover> covers(working.num_outputs(),
+                            Cover(working.num_inputs()));
+  ThreadPool::global().parallel_for(
+      0, working.num_outputs(), [&](std::uint64_t o) {
+        covers[o] = conventional_assign(working.output(static_cast<unsigned>(o)));
+      });
 
   FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
                     assignment};

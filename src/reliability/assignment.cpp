@@ -83,10 +83,6 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
   AssignmentResult result;
   result.dc_before = f.dc_count();
 
-  // Budget mirrors the static variant: the ranked-list length at the start.
-  const std::size_t budget = static_cast<std::size_t>(std::llround(
-      fraction * static_cast<double>(ranked_dcs(f).size())));
-
   // Max-heap with lazy revalidation: entries carry the weight they were
   // pushed with; stale entries (weight changed since) are re-pushed.
   struct Entry {
@@ -110,8 +106,18 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
   };
 
   std::priority_queue<Entry> heap;
+  std::size_t ranked = 0;  // nonzero-weight DCs, the ranked-list length
   for (std::uint32_t m : f.dc_minterms())
-    if (weight_of(m) != 0) heap.push({weight_of(m), m});
+    if (weight_of(m) != 0) {
+      heap.push({weight_of(m), m});
+      ++ranked;
+    }
+
+  // Budget mirrors the static variant: the ranked-list length at the start,
+  // computed from the counts already in hand (the previous version built a
+  // second NeighborTable via ranked_dcs just for this number).
+  const std::size_t budget = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(ranked)));
 
   std::size_t assigned = 0;
   while (assigned < budget && !heap.empty()) {

@@ -18,8 +18,18 @@
 
 namespace rdc {
 
-/// Normalized complexity factor C^f in [0, 1].
+/// Ordered same-phase distance-1 pair count, the numerator of C^f:
+/// |{(x_j, x_k) : D(x_j, x_k) = 1, f(x_j) = f(x_k)}|. Word-parallel
+/// (one AND+popcount per pin and phase); also used to seed the synthetic
+/// generator's annealing loop.
+std::uint64_t same_phase_pairs(const TernaryTruthTable& f);
+
+/// Normalized complexity factor C^f in [0, 1] (0 for 0-input functions).
 double complexity_factor(const TernaryTruthTable& f);
+
+/// Scalar reference for C^f via a scalar NeighborTable (differential
+/// testing and microbenchmarks).
+double complexity_factor_scalar(const TernaryTruthTable& f);
 
 /// Mean C^f across the outputs of a multi-output spec.
 double complexity_factor(const IncompleteSpec& spec);

@@ -3,18 +3,65 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
+#include "common/bitvec.hpp"
 #include "tt/neighbor_stats.hpp"
 
 namespace rdc {
+namespace {
+
+void check_error_rate_pair(const TernaryTruthTable& implementation,
+                           const TernaryTruthTable& spec, const char* where) {
+  if (!implementation.fully_specified())
+    throw std::invalid_argument(std::string(where) +
+                                ": implementation must be completely "
+                                "specified");
+  if (implementation.num_inputs() != spec.num_inputs())
+    throw std::invalid_argument(std::string(where) +
+                                ": input count mismatch");
+}
+
+double check_pin_weights(std::span<const double> pin_weights, unsigned n,
+                         const char* where) {
+  if (pin_weights.size() != n)
+    throw std::invalid_argument(std::string(where) +
+                                ": weight count mismatch");
+  double total_weight = 0.0;
+  for (const double w : pin_weights) {
+    if (w < 0.0)
+      throw std::invalid_argument(std::string(where) + ": negative weight");
+    total_weight += w;
+  }
+  if (total_weight <= 0.0)
+    throw std::invalid_argument(std::string(where) +
+                                ": weights sum to zero");
+  return total_weight;
+}
+
+}  // namespace
 
 double exact_error_rate(const TernaryTruthTable& implementation,
                         const TernaryTruthTable& spec) {
-  if (!implementation.fully_specified())
-    throw std::invalid_argument(
-        "exact_error_rate: implementation must be completely specified");
-  if (implementation.num_inputs() != spec.num_inputs())
-    throw std::invalid_argument("exact_error_rate: input count mismatch");
+  check_error_rate_pair(implementation, spec, "exact_error_rate");
+
+  // Word-parallel form: an event (care source m, pin j) propagates iff the
+  // implementation's value changes when pin j flips, so per pin the
+  // propagating sources are exactly the set bits of
+  // (on ^ neighbor_j(on)) & care.
+  const unsigned n = spec.num_inputs();
+  const BitVec& on = implementation.on_bits();
+  const BitVec care = spec.care_bits();
+  std::uint64_t propagating = 0;
+  for (unsigned j = 0; j < n; ++j)
+    propagating += popcount_and(on.shift_xor_neighbors(j), care);
+  return static_cast<double>(propagating) /
+         (static_cast<double>(n) * static_cast<double>(spec.size()));
+}
+
+double exact_error_rate_scalar(const TernaryTruthTable& implementation,
+                               const TernaryTruthTable& spec) {
+  check_error_rate_pair(implementation, spec, "exact_error_rate");
 
   const unsigned n = spec.num_inputs();
   std::uint64_t propagating = 0;
@@ -42,33 +89,44 @@ double exact_error_rate(const IncompleteSpec& implementation,
 double exact_error_rate_weighted(const TernaryTruthTable& implementation,
                                  const TernaryTruthTable& spec,
                                  std::span<const double> pin_weights) {
-  if (!implementation.fully_specified())
-    throw std::invalid_argument(
-        "exact_error_rate_weighted: implementation must be completely "
-        "specified");
+  check_error_rate_pair(implementation, spec, "exact_error_rate_weighted");
   const unsigned n = spec.num_inputs();
-  if (pin_weights.size() != n)
-    throw std::invalid_argument(
-        "exact_error_rate_weighted: weight count mismatch");
-  double total_weight = 0.0;
-  for (const double w : pin_weights) {
-    if (w < 0.0)
-      throw std::invalid_argument(
-          "exact_error_rate_weighted: negative weight");
-    total_weight += w;
-  }
-  if (total_weight <= 0.0)
-    throw std::invalid_argument(
-        "exact_error_rate_weighted: weights sum to zero");
+  const double total_weight =
+      check_pin_weights(pin_weights, n, "exact_error_rate_weighted");
 
+  // The weighted sum factors per pin: every propagating event of pin j
+  // carries the same weight, so one popcount per pin suffices.
+  const BitVec& on = implementation.on_bits();
+  const BitVec care = spec.care_bits();
   double propagating = 0.0;
+  for (unsigned j = 0; j < n; ++j)
+    propagating +=
+        pin_weights[j] *
+        static_cast<double>(popcount_and(on.shift_xor_neighbors(j), care));
+  return propagating / (total_weight * static_cast<double>(spec.size()));
+}
+
+double exact_error_rate_weighted_scalar(const TernaryTruthTable& implementation,
+                                        const TernaryTruthTable& spec,
+                                        std::span<const double> pin_weights) {
+  check_error_rate_pair(implementation, spec, "exact_error_rate_weighted");
+  const unsigned n = spec.num_inputs();
+  const double total_weight =
+      check_pin_weights(pin_weights, n, "exact_error_rate_weighted");
+
+  // Tally integer propagation counts per pin, then combine with the weights
+  // in a fixed order so the result is bit-identical to the word-parallel
+  // kernel (which also weights exact per-pin counts).
+  std::vector<std::uint64_t> per_pin(n, 0);
   for (std::uint32_t m = 0; m < spec.size(); ++m) {
     if (!spec.is_care(m)) continue;
     const bool value = implementation.is_on(m);
     for (unsigned j = 0; j < n; ++j)
-      if (implementation.is_on(flip_bit(m, j)) != value)
-        propagating += pin_weights[j];
+      if (implementation.is_on(flip_bit(m, j)) != value) ++per_pin[j];
   }
+  double propagating = 0.0;
+  for (unsigned j = 0; j < n; ++j)
+    propagating += pin_weights[j] * static_cast<double>(per_pin[j]);
   return propagating / (total_weight * static_cast<double>(spec.size()));
 }
 

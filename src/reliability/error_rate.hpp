@@ -22,9 +22,15 @@
 namespace rdc {
 
 /// Exact error rate of a completely specified implementation against the
-/// care set of specification `spec`.
+/// care set of specification `spec`. Word-parallel: per pin j the
+/// propagating sources are popcount((on ^ neighbor_j(on)) & care).
 double exact_error_rate(const TernaryTruthTable& implementation,
                         const TernaryTruthTable& spec);
+
+/// Scalar (one bit per lookup) reference implementation, kept for
+/// differential testing and the kernel microbenchmarks.
+double exact_error_rate_scalar(const TernaryTruthTable& implementation,
+                               const TernaryTruthTable& spec);
 
 /// Mean per-output exact error rate of a multi-output implementation.
 double exact_error_rate(const IncompleteSpec& implementation,
@@ -40,6 +46,11 @@ double exact_error_rate_weighted(const TernaryTruthTable& implementation,
 double exact_error_rate_weighted(const IncompleteSpec& implementation,
                                  const IncompleteSpec& spec,
                                  std::span<const double> pin_weights);
+
+/// Scalar reference for the weighted rate (differential testing).
+double exact_error_rate_weighted_scalar(
+    const TernaryTruthTable& implementation, const TernaryTruthTable& spec,
+    std::span<const double> pin_weights);
 
 /// Exact error-event decomposition of Section 5.
 struct ErrorBounds {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/bitvec.hpp"
 
 namespace rdc {
 namespace {
@@ -50,6 +51,23 @@ double mean_over_outputs(const IncompleteSpec& implementation,
 
 double exact_error_rate_kbit(const TernaryTruthTable& implementation,
                              const TernaryTruthTable& spec, unsigned k) {
+  check_pair(implementation, spec, k);
+  // Word-parallel: per flip mask, the propagating care sources are the set
+  // bits of (on ^ xor_permute(on, mask)) & care — the k-bit generalization
+  // of the single-flip shift-XOR kernel.
+  const std::vector<std::uint32_t> masks = k_subsets(spec.num_inputs(), k);
+  const BitVec& on = implementation.on_bits();
+  const BitVec care = spec.care_bits();
+  std::uint64_t propagating = 0;
+  for (const std::uint32_t mask : masks)
+    propagating += popcount_xor_and(on, on.xor_permute(mask), care);
+  return static_cast<double>(propagating) /
+         (static_cast<double>(masks.size()) * static_cast<double>(spec.size()));
+}
+
+double exact_error_rate_kbit_scalar(const TernaryTruthTable& implementation,
+                                    const TernaryTruthTable& spec,
+                                    unsigned k) {
   check_pair(implementation, spec, k);
   const std::vector<std::uint32_t> masks = k_subsets(spec.num_inputs(), k);
   std::uint64_t propagating = 0;

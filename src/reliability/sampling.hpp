@@ -20,6 +20,10 @@ namespace rdc {
 double exact_error_rate_kbit(const TernaryTruthTable& implementation,
                              const TernaryTruthTable& spec, unsigned k);
 
+/// Scalar reference for the k-bit rate (differential testing).
+double exact_error_rate_kbit_scalar(const TernaryTruthTable& implementation,
+                                    const TernaryTruthTable& spec, unsigned k);
+
 /// Mean per-output k-bit rate for a multi-output pair.
 double exact_error_rate_kbit(const IncompleteSpec& implementation,
                              const IncompleteSpec& spec, unsigned k);

@@ -100,12 +100,7 @@ TernaryTruthTable generate_function(const SyntheticOptions& options,
   const auto tolerance =
       static_cast<std::int64_t>(std::llround(options.tolerance * denom));
 
-  std::int64_t s = 0;
-  {
-    const NeighborTable neighbors(f);
-    for (std::uint32_t m = 0; m < size; ++m)
-      s += neighbors.same_phase_neighbors(f, m);
-  }
+  std::int64_t s = static_cast<std::int64_t>(same_phase_pairs(f));
 
   // Simulated annealing on the energy E = |S - target|, measured in
   // same-phase-pair units. From a random start, early moves are nearly free

@@ -3,11 +3,20 @@
 // Every algorithm in the paper is driven by the phases of a minterm's n
 // neighbors: ranking weights (Fig. 3), complexity factors (Sec. 2.2/4),
 // border counts and error bounds (Sec. 5). NeighborTable computes all
-// per-minterm neighbor counts in one O(n * 2^n) pass and serves them in O(1).
+// per-minterm neighbor counts and serves them in O(1).
+//
+// Construction is word-parallel: per 64-minterm word, the n neighbor
+// permutations of the on- and DC-membership bitsets are reduced into
+// register-resident bit-sliced vertical counters (5 bit-planes hold counts
+// up to 31 > kMaxInputs = 20) using branchless Harley-Seal carry-save
+// blocks, then the planes are transposed into per-minterm count bytes via a
+// spread lookup table; off = n - on - dc by byte-parallel subtraction. A
+// direct one-bit-at-a-time construction is retained as build_scalar() — the
+// differential-testing reference for the kernel layer.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "tt/ternary_function.hpp"
 
@@ -24,8 +33,12 @@ class NeighborTable {
  public:
   explicit NeighborTable(const TernaryTruthTable& f);
 
-  const NeighborCounts& at(std::uint32_t minterm) const {
-    return counts_[minterm];
+  /// Scalar reference construction (one neighbor lookup per (minterm, pin)
+  /// pair); bit-exact against the word-parallel constructor.
+  static NeighborTable build_scalar(const TernaryTruthTable& f);
+
+  NeighborCounts at(std::uint32_t minterm) const {
+    return {on_[minterm], off_[minterm], dc_[minterm]};
   }
 
   unsigned num_inputs() const { return num_inputs_; }
@@ -36,8 +49,18 @@ class NeighborTable {
                                 std::uint32_t minterm) const;
 
  private:
+  struct ScalarTag {};
+  NeighborTable(const TernaryTruthTable& f, ScalarTag);
+
   unsigned num_inputs_;
-  std::vector<NeighborCounts> counts_;
+  // Struct-of-arrays: one count byte per minterm per set, so the
+  // word-parallel build can store 8 transposed count bytes with one write.
+  // Heap arrays are left uninitialized on allocation — the word-parallel
+  // constructor overwrites every byte, and zeroing three 2^n-byte arrays
+  // costs as much as the build itself at small n.
+  std::unique_ptr<std::uint8_t[]> on_;
+  std::unique_ptr<std::uint8_t[]> off_;
+  std::unique_ptr<std::uint8_t[]> dc_;
 };
 
 }  // namespace rdc

@@ -25,50 +25,36 @@ TernaryTruthTable::TernaryTruthTable(unsigned num_inputs)
         "TernaryTruthTable supports at most 20 inputs; use the BDD "
         "representation for larger functions");
   }
-  const std::uint32_t words = (size() + 63) >> 6;
-  on_.assign(words, 0);
-  dc_.assign(words, 0);
+  on_ = BitVec(size());
+  dc_ = BitVec(size());
 }
 
 void TernaryTruthTable::set_phase(std::uint32_t minterm, Phase p) {
   assert(minterm < size());
-  assign(on_, minterm, p == Phase::kOne);
-  assign(dc_, minterm, p == Phase::kDc);
-}
-
-std::uint32_t TernaryTruthTable::popcount(const Words& w) const {
-  std::uint64_t total = 0;
-  for (std::uint64_t word : w) total += std::popcount(word);
-  // Functions with n < 6 still use one 64-bit word; unused high bits are
-  // kept zero by set_phase, so no masking is required here.
-  return static_cast<std::uint32_t>(total);
+  on_.set(minterm, p == Phase::kOne);
+  dc_.set(minterm, p == Phase::kDc);
 }
 
 std::vector<std::uint32_t> TernaryTruthTable::dc_minterms() const {
   std::vector<std::uint32_t> result;
   result.reserve(dc_count());
-  for (std::uint32_t w = 0; w < dc_.size(); ++w) {
-    std::uint64_t bits = dc_[w];
-    while (bits != 0) {
-      const unsigned tz = static_cast<unsigned>(std::countr_zero(bits));
-      result.push_back((w << 6) | tz);
-      bits &= bits - 1;
-    }
-  }
+  dc_.for_each_set([&](std::uint64_t m) {
+    result.push_back(static_cast<std::uint32_t>(m));
+  });
   return result;
 }
 
 unsigned TernaryTruthTable::on_neighbors(std::uint32_t m) const {
   unsigned count = 0;
   for (unsigned j = 0; j < num_inputs_; ++j)
-    count += get(on_, flip_bit(m, j)) ? 1u : 0u;
+    count += on_.get(flip_bit(m, j)) ? 1u : 0u;
   return count;
 }
 
 unsigned TernaryTruthTable::dc_neighbors(std::uint32_t m) const {
   unsigned count = 0;
   for (unsigned j = 0; j < num_inputs_; ++j)
-    count += get(dc_, flip_bit(m, j)) ? 1u : 0u;
+    count += dc_.get(flip_bit(m, j)) ? 1u : 0u;
   return count;
 }
 
@@ -79,11 +65,8 @@ unsigned TernaryTruthTable::off_neighbors(std::uint32_t m) const {
 TernaryTruthTable TernaryTruthTable::with_all_dc_assigned(Phase p) const {
   assert(p != Phase::kDc);
   TernaryTruthTable result = *this;
-  if (p == Phase::kOne) {
-    for (std::uint32_t w = 0; w < result.on_.size(); ++w)
-      result.on_[w] |= result.dc_[w];
-  }
-  for (auto& word : result.dc_) word = 0;
+  if (p == Phase::kOne) result.on_ |= result.dc_;
+  result.dc_.clear();
   return result;
 }
 

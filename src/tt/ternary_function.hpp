@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/bitvec.hpp"
 
 namespace rdc {
 
@@ -41,22 +42,37 @@ class TernaryTruthTable {
   std::uint32_t size() const { return num_minterms(num_inputs_); }
 
   Phase phase(std::uint32_t minterm) const {
-    const bool on = get(on_, minterm);
-    if (on) return Phase::kOne;
-    return get(dc_, minterm) ? Phase::kDc : Phase::kZero;
+    if (on_.get(minterm)) return Phase::kOne;
+    return dc_.get(minterm) ? Phase::kDc : Phase::kZero;
   }
 
   void set_phase(std::uint32_t minterm, Phase p);
 
-  bool is_on(std::uint32_t m) const { return get(on_, m); }
-  bool is_dc(std::uint32_t m) const { return get(dc_, m); }
-  bool is_off(std::uint32_t m) const { return !get(on_, m) && !get(dc_, m); }
+  bool is_on(std::uint32_t m) const { return on_.get(m); }
+  bool is_dc(std::uint32_t m) const { return dc_.get(m); }
+  bool is_off(std::uint32_t m) const { return !on_.get(m) && !dc_.get(m); }
   /// True iff the minterm is in the care set (on or off).
-  bool is_care(std::uint32_t m) const { return !get(dc_, m); }
+  bool is_care(std::uint32_t m) const { return !dc_.get(m); }
+
+  /// Word-parallel views of the three sets for the kernel layer: packed
+  /// membership bitsets (bit m <-> minterm m). on_bits/dc_bits are O(1)
+  /// references; care_bits/off_bits materialize the complement, O(words).
+  const BitVec& on_bits() const { return on_; }
+  const BitVec& dc_bits() const { return dc_; }
+  BitVec care_bits() const { return dc_.complement(); }
+  BitVec off_bits() const {
+    BitVec off = on_.complement();
+    off.and_not(dc_);
+    return off;
+  }
 
   /// Cardinalities of the three sets. O(words).
-  std::uint32_t on_count() const { return popcount(on_); }
-  std::uint32_t dc_count() const { return popcount(dc_); }
+  std::uint32_t on_count() const {
+    return static_cast<std::uint32_t>(on_.count());
+  }
+  std::uint32_t dc_count() const {
+    return static_cast<std::uint32_t>(dc_.count());
+  }
   std::uint32_t off_count() const { return size() - on_count() - dc_count(); }
 
   /// Signal probabilities f1, f0, fDC as defined in Sec. 3.1 of the paper.
@@ -86,23 +102,9 @@ class TernaryTruthTable {
   std::string to_string() const;
 
  private:
-  using Words = std::vector<std::uint64_t>;
-
-  static bool get(const Words& w, std::uint32_t i) {
-    return (w[i >> 6] >> (i & 63)) & 1u;
-  }
-  static void assign(Words& w, std::uint32_t i, bool v) {
-    const std::uint64_t mask = 1ull << (i & 63);
-    if (v)
-      w[i >> 6] |= mask;
-    else
-      w[i >> 6] &= ~mask;
-  }
-  std::uint32_t popcount(const Words& w) const;
-
   unsigned num_inputs_;
-  Words on_;  ///< bit set for on-set membership
-  Words dc_;  ///< bit set for DC-set membership
+  BitVec on_;  ///< bit set for on-set membership
+  BitVec dc_;  ///< bit set for DC-set membership
 };
 
 }  // namespace rdc

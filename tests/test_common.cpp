@@ -1,13 +1,18 @@
-// Unit tests for the common utilities: bit helpers, RNG, statistics.
+// Unit tests for the common utilities: bit helpers, packed bitsets, the
+// thread pool, RNG, statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rdc {
 namespace {
@@ -134,6 +139,172 @@ TEST(Stats, PoissonPmfMeanMatchesLambda) {
 TEST(Stats, PoissonZeroLambda) {
   EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+}
+
+BitVec random_bitvec(std::uint64_t bits, Rng& rng) {
+  BitVec v(bits);
+  for (std::uint64_t i = 0; i < bits; ++i) v.set(i, rng.flip(0.5));
+  return v;
+}
+
+TEST(BitVec, GetSetCount) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.num_words(), 3u);
+  EXPECT_EQ(v.count(), 0u);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 3u);
+  v.set(64, false);
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, ComplementRespectsTail) {
+  // Sub-word vector: the complement must not set bits past size().
+  BitVec v(8);
+  v.set(3, true);
+  const BitVec c = v.complement();
+  EXPECT_EQ(c.count(), 7u);
+  EXPECT_FALSE(c.get(3));
+  EXPECT_TRUE(c.get(0));
+  EXPECT_EQ(c.complement(), v);
+}
+
+TEST(BitVec, FillRespectsTail) {
+  BitVec v(20);
+  v.fill();
+  EXPECT_EQ(v.count(), 20u);
+  BitVec w(128);
+  w.fill();
+  EXPECT_EQ(w.count(), 128u);
+}
+
+TEST(BitVec, SetAlgebraMatchesPerBit) {
+  Rng rng(404);
+  const BitVec a = random_bitvec(200, rng);
+  const BitVec b = random_bitvec(200, rng);
+  const BitVec conj = bv_and(a, b);
+  const BitVec disj = bv_or(a, b);
+  const BitVec sym = bv_xor(a, b);
+  const BitVec diff = bv_andnot(a, b);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(conj.get(i), a.get(i) && b.get(i));
+    EXPECT_EQ(disj.get(i), a.get(i) || b.get(i));
+    EXPECT_EQ(sym.get(i), a.get(i) != b.get(i));
+    EXPECT_EQ(diff.get(i), a.get(i) && !b.get(i));
+  }
+  EXPECT_EQ(popcount_and(a, b), conj.count());
+  EXPECT_EQ(popcount_xor_and(a, b, disj), bv_and(sym, disj).count());
+}
+
+TEST(BitVec, NeighborShiftMatchesFlipBit) {
+  // Covers both regimes: in-word shifts (j < 6) and word swaps (j >= 6),
+  // plus the sub-word lattices (n < 6).
+  Rng rng(405);
+  for (unsigned n = 1; n <= 8; ++n) {
+    const BitVec v = random_bitvec(1u << n, rng);
+    for (unsigned j = 0; j < n; ++j) {
+      const BitVec shifted = v.neighbor_shift(j);
+      for (std::uint32_t m = 0; m < (1u << n); ++m)
+        ASSERT_EQ(shifted.get(m), v.get(flip_bit(m, j)))
+            << "n=" << n << " j=" << j << " m=" << m;
+      // The permutation is an involution.
+      EXPECT_EQ(shifted.neighbor_shift(j), v);
+      // shift_xor_neighbors is the value-change predicate.
+      const BitVec changed = v.shift_xor_neighbors(j);
+      for (std::uint32_t m = 0; m < (1u << n); ++m)
+        ASSERT_EQ(changed.get(m), v.get(m) != v.get(flip_bit(m, j)));
+    }
+  }
+}
+
+TEST(BitVec, XorPermuteMatchesIndexXor) {
+  Rng rng(406);
+  for (unsigned n : {3u, 7u, 9u}) {
+    const BitVec v = random_bitvec(1u << n, rng);
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto mask =
+          static_cast<std::uint32_t>(rng.below(1u << n));
+      const BitVec permuted = v.xor_permute(mask);
+      for (std::uint32_t m = 0; m < (1u << n); ++m)
+        ASSERT_EQ(permuted.get(m), v.get(m ^ mask))
+            << "n=" << n << " mask=" << mask << " m=" << m;
+    }
+  }
+}
+
+TEST(BitVec, ForEachSetVisitsInOrder) {
+  BitVec v(150);
+  v.set(5, true);
+  v.set(77, true);
+  v.set(149, true);
+  std::vector<std::uint64_t> seen;
+  v.for_each_set([&](std::uint64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{5, 77, 149}));
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(7, 8, [&](std::uint64_t i) {
+    EXPECT_EQ(i, 7u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::uint64_t) {
+    pool.parallel_for(0, 8, [&](std::uint64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 16,
+                                 [&](std::uint64_t i) {
+                                   if (i == 7)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> ok{0};
+  pool.parallel_for(0, 4, [&](std::uint64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int serial = 0;  // no atomics needed: everything runs on this thread
+  pool.parallel_for(0, 100, [&](std::uint64_t) { ++serial; });
+  EXPECT_EQ(serial, 100);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> hits{0};
+  ThreadPool::global().parallel_for(0, 32,
+                                    [&](std::uint64_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 32);
+  EXPECT_GE(ThreadPool::global().num_threads(), 1u);
 }
 
 }  // namespace

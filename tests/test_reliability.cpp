@@ -9,6 +9,7 @@
 #include "reliability/assignment.hpp"
 #include "reliability/complexity.hpp"
 #include "reliability/error_rate.hpp"
+#include "reliability/sampling.hpp"
 #include "tt/neighbor_stats.hpp"
 
 namespace rdc {
@@ -412,6 +413,90 @@ TEST(WeightedErrorRate, RejectsBadWeights) {
       std::invalid_argument);
   EXPECT_THROW(
       exact_error_rate_weighted(f, f, std::vector<double>{0.0, 0.0, 0.0}),
+      std::invalid_argument);
+}
+
+TernaryTruthTable random_ternary_density(unsigned n, double dc_density,
+                                         Rng& rng) {
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (rng.flip(dc_density))
+      f.set_phase(m, Phase::kDc);
+    else
+      f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  }
+  return f;
+}
+
+// Differential property tests: every word-parallel kernel must be bit-exact
+// with its scalar reference across lattice sizes (including the sub-word
+// n < 6 cases, which exercise the masked in-word shifts) and DC densities
+// from fully specified to all-don't-care.
+TEST(KernelDifferential, ExactErrorRateMatchesScalar) {
+  Rng rng(3001);
+  for (unsigned n = 1; n <= 12; ++n) {
+    for (const double density : {0.0, 0.3, 0.6, 1.0}) {
+      const TernaryTruthTable spec = random_ternary_density(n, density, rng);
+      const TernaryTruthTable impl = spec.with_all_dc_assigned(
+          rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+      ASSERT_DOUBLE_EQ(exact_error_rate(impl, spec),
+                       exact_error_rate_scalar(impl, spec))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST(KernelDifferential, WeightedErrorRateMatchesScalar) {
+  Rng rng(3002);
+  for (unsigned n = 1; n <= 12; ++n) {
+    for (const double density : {0.0, 0.3, 0.6, 1.0}) {
+      const TernaryTruthTable spec = random_ternary_density(n, density, rng);
+      const TernaryTruthTable impl = spec.with_all_dc_assigned(Phase::kZero);
+      std::vector<double> weights(n);
+      for (auto& w : weights) w = 0.1 + rng.uniform();
+      ASSERT_DOUBLE_EQ(exact_error_rate_weighted(impl, spec, weights),
+                       exact_error_rate_weighted_scalar(impl, spec, weights))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST(KernelDifferential, KbitErrorRateMatchesScalar) {
+  Rng rng(3003);
+  for (unsigned n = 2; n <= 10; ++n) {
+    for (const double density : {0.0, 0.3, 0.6, 1.0}) {
+      const TernaryTruthTable spec = random_ternary_density(n, density, rng);
+      const TernaryTruthTable impl = spec.with_all_dc_assigned(Phase::kOne);
+      for (const unsigned k : {1u, 2u, 3u}) {
+        if (k > n) continue;
+        ASSERT_DOUBLE_EQ(exact_error_rate_kbit(impl, spec, k),
+                         exact_error_rate_kbit_scalar(impl, spec, k))
+            << "n=" << n << " density=" << density << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, ComplexityFactorMatchesScalar) {
+  Rng rng(3004);
+  for (unsigned n = 1; n <= 12; ++n) {
+    for (const double density : {0.0, 0.3, 0.6, 1.0}) {
+      const TernaryTruthTable f = random_ternary_density(n, density, rng);
+      ASSERT_DOUBLE_EQ(complexity_factor(f), complexity_factor_scalar(f))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+// Regression: the weighted overload used to skip the input-count check that
+// the unweighted path performs, silently producing garbage on mismatched
+// lattices.
+TEST(WeightedErrorRate, RejectsInputCountMismatch) {
+  const TernaryTruthTable impl(3);
+  const TernaryTruthTable spec(4);
+  EXPECT_THROW(
+      exact_error_rate_weighted(impl, spec,
+                                std::vector<double>{1.0, 1.0, 1.0, 1.0}),
       std::invalid_argument);
 }
 

@@ -150,5 +150,54 @@ TEST(IncompleteSpec, DcFractionAcrossOutputs) {
   EXPECT_FALSE(spec.fully_specified());
 }
 
+TernaryTruthTable random_table(unsigned n, double dc_density, Rng& rng) {
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (rng.flip(dc_density))
+      f.set_phase(m, Phase::kDc);
+    else
+      f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  }
+  return f;
+}
+
+// Differential property test: the bit-sliced vertical-counter build must be
+// bit-exact with the scalar reference on every minterm, across the sub-word
+// lattices (n < 6) and the multi-word ones, at every DC density extreme.
+TEST(NeighborTable, WordParallelMatchesScalar) {
+  Rng rng(2024);
+  for (unsigned n = 1; n <= 12; ++n) {
+    for (const double density : {0.0, 0.3, 0.6, 1.0}) {
+      const TernaryTruthTable f = random_table(n, density, rng);
+      const NeighborTable fast(f);
+      const NeighborTable slow = NeighborTable::build_scalar(f);
+      for (std::uint32_t m = 0; m < f.size(); ++m) {
+        ASSERT_EQ(fast.at(m).on, slow.at(m).on)
+            << "n=" << n << " density=" << density << " m=" << m;
+        ASSERT_EQ(fast.at(m).off, slow.at(m).off)
+            << "n=" << n << " density=" << density << " m=" << m;
+        ASSERT_EQ(fast.at(m).dc, slow.at(m).dc)
+            << "n=" << n << " density=" << density << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(TernaryTruthTable, BitAccessorsAgreeWithPhases) {
+  Rng rng(2025);
+  const TernaryTruthTable f = random_table(7, 0.4, rng);
+  const BitVec& on = f.on_bits();
+  const BitVec& dc = f.dc_bits();
+  const BitVec care = f.care_bits();
+  const BitVec off = f.off_bits();
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    EXPECT_EQ(on.get(m), f.is_on(m));
+    EXPECT_EQ(dc.get(m), f.is_dc(m));
+    EXPECT_EQ(care.get(m), f.is_care(m));
+    EXPECT_EQ(off.get(m), f.is_off(m));
+  }
+  EXPECT_EQ(on.count() + off.count() + dc.count(), f.size());
+}
+
 }  // namespace
 }  // namespace rdc
