@@ -7,14 +7,19 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading("Ablation E: cross-output kernel extraction");
   std::printf("%-8s | %9s %9s %7s | %9s %9s %7s\n", "Name", "conv area",
               "+extract", "delta%", "lcf area", "+extract", "delta%");
   std::printf(
       "--------------------------------------------------------------------\n");
 
+  obs::RunReport report("ablation_extract");
   double mean_conv = 0.0;
   double mean_lcf = 0.0;
   for (const IncompleteSpec& spec : bench::suite()) {
@@ -37,6 +42,14 @@ int main() {
     mean_lcf += dl;
     std::printf("%-8s | %9.1f %9.1f %7.1f | %9.1f %9.1f %7.1f\n",
                 spec.name().c_str(), conv0, conv1, dc, lcf0, lcf1, dl);
+    obs::Record& r = report.add_row();
+    r.set("name", spec.name());
+    r.set("conventional_area", conv0);
+    r.set("conventional_area_extracted", conv1);
+    r.set("conventional_delta_percent", dc);
+    r.set("lcf_area", lcf0);
+    r.set("lcf_area_extracted", lcf1);
+    r.set("lcf_delta_percent", dl);
   }
   const double n = static_cast<double>(bench::suite().size());
   std::printf("%-8s | %9s %9s %7.1f | %9s %9s %7.1f\n", "mean", "", "",
@@ -44,5 +57,5 @@ int main() {
   bench::note(
       "\ndelta% > 0: extraction saved area. The reliability conclusions are\n"
       "orthogonal (error rates are identical with and without extraction).");
-  return 0;
+  return bench::finish(options_cli, report);
 }

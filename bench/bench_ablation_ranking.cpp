@@ -9,14 +9,19 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading("Ablation B: static vs incremental ranking assignment");
   std::printf("%8s | %12s %12s | %12s %12s\n", "fraction", "static er",
               "incr. er", "static area", "incr. area");
   std::printf(
       "----------------------------------------------------------------\n");
 
+  obs::RunReport report("ablation_ranking");
   const std::vector<double> fractions{0.25, 0.5, 0.75, 1.0};
   for (const double fraction : fractions) {
     double er_static = 0.0;
@@ -41,10 +46,16 @@ int main() {
     std::printf("%8.2f | %12.3f %12.3f | %12.3f %12.3f\n", fraction,
                 er_static / count, er_incremental / count,
                 area_static / count, area_incremental / count);
+    obs::Record& r = report.add_row();
+    r.set("fraction", fraction);
+    r.set("static_error", er_static / count);
+    r.set("incremental_error", er_incremental / count);
+    r.set("static_area", area_static / count);
+    r.set("incremental_area", area_incremental / count);
   }
   bench::note(
       "\nValues are normalized to conventional assignment (1.0). The paper\n"
       "uses the static variant; the incremental variant is a design-space\n"
       "probe — it assigns the same budget but reacts to its own decisions.");
-  return 0;
+  return bench::finish(options_cli, report);
 }

@@ -9,14 +9,19 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading(
       "Ablation C: LC^f tie handling (skip balanced DCs vs assign to 0)");
   std::printf("%-8s | %10s %10s | %10s %10s\n", "Name", "skip a%",
               "skip er%", "lit. a%", "lit. er%");
   std::printf("--------------------------------------------------------\n");
 
+  obs::RunReport report("ablation_ties");
   double skip_area = 0.0, skip_er = 0.0, lit_area = 0.0, lit_er = 0.0;
   for (const IncompleteSpec& spec : bench::suite()) {
     const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
@@ -44,6 +49,12 @@ int main() {
     lit_er += le;
     std::printf("%-8s | %10.1f %10.1f | %10.1f %10.1f\n",
                 spec.name().c_str(), sa, se, la, le);
+    obs::Record& r = report.add_row();
+    r.set("name", spec.name());
+    r.set("skip_area_improvement", sa);
+    r.set("skip_error_improvement", se);
+    r.set("literal_area_improvement", la);
+    r.set("literal_error_improvement", le);
   }
   const double n = static_cast<double>(bench::suite().size());
   std::printf("%-8s | %10.1f %10.1f | %10.1f %10.1f\n", "mean",
@@ -52,5 +63,5 @@ int main() {
       "\nExpected: identical (or better) error-rate improvement with\n"
       "strictly less area overhead when balanced ties are skipped — tied\n"
       "assignments restrict the optimizer without masking anything.");
-  return 0;
+  return bench::finish(options_cli, report);
 }

@@ -26,8 +26,12 @@ struct Point {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading(
       "Figure 2: SOP size vs complexity factor (10-input, 1-output)");
   std::printf("%8s %10s %10s\n", "target", "C^f", "implicants");
@@ -50,6 +54,8 @@ int main() {
                      static_cast<double>(minimal_sop_size(f))};
       });
 
+  obs::RunReport report("fig2");
+  report.meta().set("seeds_per_point", kSeedsPerPoint);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     double cf_sum = 0.0;
     double size_sum = 0.0;
@@ -60,6 +66,10 @@ int main() {
     }
     std::printf("%8.2f %10.3f %10.1f\n", targets[i], cf_sum / kSeedsPerPoint,
                 size_sum / kSeedsPerPoint);
+    obs::Record& r = report.add_row();
+    r.set("target_cf", targets[i]);
+    r.set("cf", cf_sum / kSeedsPerPoint);
+    r.set("implicants", size_sum / kSeedsPerPoint);
   }
 
   // Anchor points: the exact extremes of the paper's plot.
@@ -71,5 +81,5 @@ int main() {
   const TernaryTruthTable constant(10);
   std::printf("%8s %10.3f %10zu   (constant)\n", "1.00",
               complexity_factor(constant), minimal_sop_size(constant));
-  return 0;
+  return bench::finish(options_cli, report);
 }

@@ -19,8 +19,12 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading(
       "Figure 4: Normalized error rate vs fraction of DCs assigned "
       "(ranking-based)");
@@ -48,12 +52,18 @@ int main() {
         return row;
       });
 
+  obs::RunReport report("fig4");
   std::vector<double> mean(fractions.size(), 0.0);
   for (const Row& row : rows) {
     std::printf("%-8s", row.name.c_str());
+    obs::Record& r = report.add_row();
+    r.set("name", row.name);
     for (std::size_t i = 0; i < fractions.size(); ++i) {
       mean[i] += row.normalized[i];
       std::printf(" %7.3f", row.normalized[i]);
+      char key[32];
+      std::snprintf(key, sizeof key, "normalized_at_%.1f", fractions[i]);
+      r.set(key, row.normalized[i]);
     }
     std::printf("\n");
   }
@@ -67,5 +77,5 @@ int main() {
       "\nExpected shape (paper): monotone decrease from 1.0; complete\n"
       "reliability-driven assignment improves input-error resilience by up\n"
       "to ~50% on DC-rich benchmarks.");
-  return 0;
+  return bench::finish(options_cli, report);
 }

@@ -32,9 +32,14 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   const std::vector<double> fractions{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  obs::RunReport report("fig5");
 
   for (const OptimizeFor objective :
        {OptimizeFor::kDelay, OptimizeFor::kPower}) {
@@ -90,11 +95,25 @@ int main() {
     print_metric("Normalized area", norm_area);
     print_metric("Normalized delay", norm_delay);
     print_metric("Normalized power", norm_power);
+
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      obs::Record& r = report.add_row();
+      r.set("objective", is_delay ? "delay" : "power");
+      r.set("fraction", fractions[i]);
+      const auto put = [&](const char* metric, const Summary& s) {
+        r.set(std::string(metric) + "_min", s.min);
+        r.set(std::string(metric) + "_mean", s.mean);
+        r.set(std::string(metric) + "_max", s.max);
+      };
+      put("area", summarize(norm_area[i]));
+      put("delay", summarize(norm_delay[i]));
+      put("power", summarize(norm_power[i]));
+    }
   }
   bench::note(
       "\nExpected shape (paper): means rise with the fraction assigned\n"
       "(reliability costs overhead), while the min lines dip below 1.0 on\n"
       "some benchmarks — selective ranking-based assignment can improve\n"
       "area/delay and reliability simultaneously.");
-  return 0;
+  return bench::finish(options_cli, report);
 }

@@ -28,8 +28,12 @@ struct Trajectory {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading(
       "Figure 6: Area vs error rate for synthetic benchmark families "
       "(11-in, 11-out, 60% DC)");
@@ -64,6 +68,8 @@ int main() {
         return t;
       });
 
+  obs::RunReport report("fig6");
+  report.meta().set("functions_per_family", kFunctionsPerFamily);
   for (std::size_t fam = 0; fam < families.size(); ++fam) {
     std::printf("\nFamily C^f = %.2f\n", families[fam]);
     std::printf("%8s %12s %12s\n", "fraction", "norm. area", "norm. error");
@@ -78,7 +84,12 @@ int main() {
       std::printf("%8.2f %12.3f %12.3f\n", fractions[i],
                   area_sum / kFunctionsPerFamily,
                   error_sum / kFunctionsPerFamily);
+      obs::Record& r = report.add_row();
+      r.set("family_cf", families[fam]);
+      r.set("fraction", fractions[i]);
+      r.set("normalized_area", area_sum / kFunctionsPerFamily);
+      r.set("normalized_error", error_sum / kFunctionsPerFamily);
     }
   }
-  return 0;
+  return bench::finish(options_cli, report);
 }

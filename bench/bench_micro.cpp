@@ -5,7 +5,19 @@
 // These track the cost of the building blocks the experiment harnesses are
 // made of; bench/run_bench_baseline.sh snapshots the kernel group into
 // BENCH_kernels.json so the perf trajectory is recorded across PRs.
+//
+// Like the table/figure harnesses, `--json <path>` writes an
+// rdc.bench.report.v1 document; the remaining arguments go to
+// google-benchmark unchanged (--benchmark_filter etc.). Micro rows carry
+// timings, so unlike the other suites they are machine- and run-dependent.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
 
 #include "aig/balance.hpp"
 #include "bdd/bdd_ops.hpp"
@@ -200,6 +212,60 @@ void BM_FullFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFlow)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally keeps every Run record so main() can
+/// emit the rdc.bench.report.v1 document after the run. Aggregate runs are
+/// kept too — under --benchmark_report_aggregates_only the library hands
+/// the reporter only aggregates, and their names carry the _mean/_median
+/// suffix, so the rows stay self-describing.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports)
+      if (!run.error_occurred) runs_.push_back(run);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  rdc::obs::trace_mode();  // resolve RDC_TRACE before any benchmark runs
+  // Strip the shared --json option before handing argv to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = argv[i] + 7;
+    else
+      args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+  rdc::obs::RunReport report("micro");
+  for (const auto& run : reporter.runs()) {
+    rdc::obs::Record& r = report.add_row();
+    r.set("name", run.benchmark_name());
+    r.set("real_time", run.GetAdjustedRealTime());
+    r.set("cpu_time", run.GetAdjustedCPUTime());
+    r.set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+    r.set("iterations", run.iterations);
+  }
+  if (!report.write_file(json_path)) return 1;
+  std::printf("\n[report: %s]\n", json_path.c_str());
+  return 0;
+}

@@ -29,8 +29,12 @@ rdc::Aig build_network(const rdc::IncompleteSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading(
       "Extension (Sec. 4): nodal decomposition + internal DC reassignment");
   std::printf("%-8s %7s %7s | %6s %6s | %7s %8s %8s\n", "Name", "ANDs",
@@ -38,7 +42,9 @@ int main() {
   std::printf(
       "----------------------------------------------------------------------\n");
 
+  obs::RunReport report("nodal");
   constexpr unsigned kSamples = 2000;
+  report.meta().set("mask_samples", kSamples);
   // The largest suite entries make exhaustive per-node extraction slow;
   // the technique is demonstrated on the small/medium benchmarks.
   for (const char* name :
@@ -59,6 +65,16 @@ int main() {
                 result.nodes_total, result.nodes_resynthesized,
                 static_cast<unsigned long long>(result.sdc_patterns),
                 mask_before, mask_after);
+    obs::Record& r = report.add_row();
+    r.set("name", name);
+    r.set("variant", "sdc");
+    r.set("ands_before", original.num_ands());
+    r.set("ands_after", result.network.num_ands());
+    r.set("nodes_total", result.nodes_total);
+    r.set("nodes_resynthesized", result.nodes_resynthesized);
+    r.set("sdc_patterns", result.sdc_patterns);
+    r.set("mask_before", mask_before);
+    r.set("mask_after", mask_after);
   }
   bench::note(
       "\nmask0/mask1: fraction of injected internal errors that propagate\n"
@@ -89,6 +105,16 @@ int main() {
                 static_cast<unsigned long long>(result.sdc_patterns),
                 static_cast<unsigned long long>(result.odc_patterns),
                 mask_before, mask_after);
+    obs::Record& r = report.add_row();
+    r.set("name", name);
+    r.set("variant", "sdc_odc");
+    r.set("ands_before", original.num_ands());
+    r.set("ands_after", result.network.num_ands());
+    r.set("rewrites", result.rewrites);
+    r.set("sdc_patterns", result.sdc_patterns);
+    r.set("odc_patterns", result.odc_patterns);
+    r.set("mask_before", mask_before);
+    r.set("mask_after", mask_after);
   }
-  return 0;
+  return bench::finish(options_cli, report);
 }

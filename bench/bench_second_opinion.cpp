@@ -13,8 +13,12 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options_cli;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options_cli, exit_code)) return exit_code;
+
   bench::heading(
       "Second-opinion flow: area trend under direct vs resyn recipe");
 
@@ -26,10 +30,13 @@ int main() {
   std::printf(
       "----------------------------------------------------------------\n");
 
+  obs::RunReport report("second_opinion");
   double mean_full[2] = {0.0, 0.0};
   double mean_abs_ratio = 0.0;
   for (const IncompleteSpec& spec : bench::suite()) {
     std::printf("%-8s |", spec.name().c_str());
+    obs::Record& row = report.add_row();
+    row.set("name", spec.name());
     double baseline_area[2] = {0.0, 0.0};
     for (const bool resyn : {false, true}) {
       for (const double fraction : fractions) {
@@ -43,6 +50,10 @@ int main() {
             bench::normalized(baseline_area[resyn], r.stats.area);
         std::printf(" %6.3f", norm);
         if (fraction == 1.0) mean_full[resyn] += norm;
+        char key[48];
+        std::snprintf(key, sizeof key, "%s_norm_area_at_%.1f",
+                      resyn ? "resyn" : "direct", fraction);
+        row.set(key, norm);
       }
       std::printf(" |");
     }
@@ -54,8 +65,11 @@ int main() {
               mean_full[0] / n, mean_full[1] / n);
   std::printf("mean resyn/direct baseline area ratio: %.3f\n",
               mean_abs_ratio / n);
+  report.meta().set("mean_direct_norm_area_at_1", mean_full[0] / n);
+  report.meta().set("mean_resyn_norm_area_at_1", mean_full[1] / n);
+  report.meta().set("mean_baseline_area_ratio", mean_abs_ratio / n);
   bench::note(
       "\nExpected: the same rising-overhead trend under both recipes —\n"
       "the reliability/area tradeoff is not an artefact of one optimizer.");
-  return 0;
+  return bench::finish(options_cli, report);
 }

@@ -25,8 +25,12 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
+  bench::Options options;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options, exit_code)) return exit_code;
+
   bench::heading("Table 1: Published and synthetic benchmark properties");
   std::printf("%-8s %3s %3s | %6s %6s | %6s %6s | %6s %6s\n", "Name", "i",
               "o", "%DC", "paper", "E[C^f]", "paper", "C^f", "paper");
@@ -53,5 +57,16 @@ int main() {
   bench::note(
       "\nEach row is a deterministic synthetic stand-in matching the MCNC\n"
       "benchmark's published signature (inputs, outputs, %DC, E[C^f], C^f).");
-  return 0;
+
+  obs::RunReport report("table1");
+  for (const Row& row : rows) {
+    obs::Record& r = report.add_row();
+    r.set("name", row.name);
+    r.set("inputs", row.inputs);
+    r.set("outputs", row.outputs);
+    r.set("dc_percent", row.dc);
+    r.set("expected_cf", row.expected_cf);
+    r.set("cf", row.cf);
+  }
+  return bench::finish(options, report);
 }

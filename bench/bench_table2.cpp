@@ -30,9 +30,12 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdc;
   constexpr double kThreshold = 0.55;
+  bench::Options options;
+  int exit_code = 0;
+  if (!bench::parse_args(argc, argv, options, exit_code)) return exit_code;
 
   bench::heading("Table 2: Complexity-factor-based assignment results");
   std::printf("%-8s %5s | %6s | %7s %7s | %7s %7s | %7s %7s\n", "Name",
@@ -97,5 +100,21 @@ int main() {
       "assignment. Expected shape (paper): LC^f-based achieves reliability\n"
       "gains with the smallest area penalty; complete assignment maximizes\n"
       "reliability at large area overheads.");
-  return 0;
+
+  obs::RunReport report("table2");
+  report.meta().set("lcf_threshold", kThreshold);
+  for (const Row& row : rows) {
+    obs::Record& r = report.add_row();
+    r.set("name", row.name);
+    r.set("inputs", row.inputs);
+    r.set("outputs", row.outputs);
+    r.set("cf", row.cf);
+    r.set("lcf_area_improvement", row.lc_area);
+    r.set("lcf_error_improvement", row.lc_er);
+    r.set("ranking_area_improvement", row.rk_area);
+    r.set("ranking_error_improvement", row.rk_er);
+    r.set("complete_area_improvement", row.cp_area);
+    r.set("complete_error_improvement", row.cp_er);
+  }
+  return bench::finish(options, report);
 }

@@ -1,15 +1,19 @@
 // Shared helpers for the experiment harnesses: suite access with in-process
 // caching, per-circuit fan-out over the process-wide thread pool,
-// fixed-width table printing, and normalization utilities.
+// fixed-width table printing, normalization utilities, and the common
+// `--json <path>` machine-readable report mode (schema in DESIGN.md §9).
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "benchdata/suite.hpp"
 #include "common/thread_pool.hpp"
 #include "flow/synthesis_flow.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
 
 namespace rdc::bench {
 
@@ -50,6 +54,64 @@ inline double improvement_percent(double baseline, double value) {
 /// value / baseline, guarding the degenerate baseline.
 inline double normalized(double baseline, double value) {
   return baseline == 0.0 ? 1.0 : value / baseline;
+}
+
+/// Command-line options shared by every table/figure harness.
+struct Options {
+  std::string json_path;  ///< empty: print the table only
+};
+
+/// Parses the common harness arguments (`--json <path>` / `--json=<path>`,
+/// `--help`). Returns false after printing a usage note on `--help` or an
+/// unknown argument; the caller should then exit (0 for help, 2 otherwise,
+/// as reported in `exit_code`). Counter collection is switched on as soon
+/// as a JSON report is requested so the report's counters block is
+/// populated even without RDC_TRACE.
+inline bool parse_args(int argc, char** argv, Options& options,
+                       int& exit_code) {
+  // Resolve RDC_TRACE up front: the lazy init runs on the first span, and a
+  // harness whose work stays on the inline parallel_for path may execute
+  // none — the atexit trace flush must still be installed.
+  obs::trace_mode();
+  exit_code = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: %s [--json <path>]\n"
+          "  --json <path>  also write a machine-readable run report\n"
+          "                 (schema rdc.bench.report.v1, see DESIGN.md)\n"
+          "Environment: RDC_THREADS, RDC_TRACE, RDC_COUNTERS (DESIGN.md).\n",
+          argv[0]);
+      return false;
+    }
+    if (std::strcmp(arg, "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path argument\n", argv[0]);
+        exit_code = 2;
+        return false;
+      }
+      options.json_path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = arg + 7;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0],
+                   arg);
+      exit_code = 2;
+      return false;
+    }
+  }
+  if (!options.json_path.empty()) obs::set_counters_enabled(true);
+  return true;
+}
+
+/// Writes the report when --json was requested; returns the process exit
+/// code for main().
+inline int finish(const Options& options, const obs::RunReport& report) {
+  if (options.json_path.empty()) return 0;
+  if (!report.write_file(options.json_path)) return 1;
+  std::printf("\n[report: %s]\n", options.json_path.c_str());
+  return 0;
 }
 
 }  // namespace rdc::bench

@@ -3,6 +3,11 @@
 # future PRs can track the perf trajectory of the word-parallel kernels
 # against their scalar references.
 #
+# The artifact is an rdc.bench.report.v1 document (bench_micro --json):
+# alongside the per-benchmark rows it records the run metadata — git
+# revision, UTC date, thread count, and compiler — so a snapshot is
+# attributable to the commit and machine configuration that produced it.
+#
 # Usage: bench/run_bench_baseline.sh [build-dir] [output-json]
 # Defaults: build-dir = build, output = BENCH_kernels.json (repo root).
 set -euo pipefail
@@ -18,11 +23,17 @@ if [[ ! -x "$bench_micro" ]]; then
   exit 1
 fi
 
+# The binary bakes in the revision it was configured at; point RDC_GIT_REV
+# at the current checkout so the snapshot names the commit actually built
+# (a stale build dir would otherwise report the configure-time revision).
+if git_rev="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null)"; then
+  export RDC_GIT_REV="$git_rev"
+fi
+
 "$bench_micro" \
   --benchmark_filter='BM_(ExactErrorRate|ExactErrorRateScalar|NeighborTable|NeighborTableScalar|ComplexityFactor|ComplexityFactorScalar|ErrorRateKbit)(/|$)' \
-  --benchmark_out="$output" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
+  --benchmark_repetitions=1 \
+  --json "$output"
 
 echo
 echo "Kernel benchmark snapshot written to $output"
@@ -36,8 +47,10 @@ import sys
 
 with open(sys.argv[1]) as fh:
     data = json.load(fh)
-times = {b["name"]: b["real_time"] for b in data["benchmarks"]}
-print("\nword-parallel speedup over scalar reference:")
+meta = {k: data[k] for k in ("git_rev", "date", "threads", "compiler")}
+print("\nrun metadata:", ", ".join(f"{k}={v}" for k, v in meta.items()))
+times = {row["name"]: row["real_time"] for row in data["rows"]}
+print("word-parallel speedup over scalar reference:")
 for kernel in ("BM_ExactErrorRate", "BM_NeighborTable", "BM_ComplexityFactor"):
     for arg in (8, 10, 12, 14, 16, 20):
         fast = times.get(f"{kernel}/{arg}")

@@ -20,6 +20,21 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo
+echo "== observability smoke: traced --json harness run =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+RDC_TRACE="$smoke_dir/trace.json" \
+  ./build/bench/bench_table1 --json "$smoke_dir/report.json" > /dev/null
+./build/tools/rdc_json_check "$smoke_dir/report.json" \
+  schema suite git_rev date threads compiler rows counters
+./build/tools/rdc_json_check "$smoke_dir/trace.json" traceEvents
+RDC_TRACE=summary ./build/bench/bench_table1 > /dev/null 2> "$smoke_dir/summary.txt"
+grep -q "rdc::obs" "$smoke_dir/summary.txt" || {
+  echo "RDC_TRACE=summary produced no summary table" >&2
+  exit 1
+}
+
 if [[ "$run_sanitizers" == "1" ]]; then
   echo
   echo "== ASan+UBSan build of the unit tests =="

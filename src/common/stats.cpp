@@ -9,7 +9,7 @@ namespace rdc {
 Summary summarize(std::span<const double> values) {
   Summary s;
   s.count = values.size();
-  if (values.empty()) return s;
+  if (values.empty()) return s;  // count == 0 marks the moments invalid
   s.min = values.front();
   s.max = values.front();
   double sum = 0.0;

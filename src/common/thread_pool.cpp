@@ -6,7 +6,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace rdc {
 namespace {
@@ -38,9 +42,15 @@ struct Job {
   /// valid for the whole loop.
   void work() {
     tls_in_parallel_region = true;
+    // Busy time is attributed to the executing thread's counter shard, so
+    // the summary's pool-utilization table shows per-worker load.
+    const bool timed = obs::counters_enabled();
+    const std::uint64_t entered_ns = timed ? obs::trace_now_ns() : 0;
+    std::uint64_t executed = 0;
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) break;
+      ++executed;
       try {
         (*fn)(i);
       } catch (...) {
@@ -51,6 +61,16 @@ struct Job {
         std::lock_guard<std::mutex> lock(done_mutex);
         done.notify_all();
       }
+    }
+    // Per-worker attribution only: the deterministic kPoolTasks total is
+    // counted by parallel_for itself, because a straggler thread can reach
+    // this point after the owning parallel_for (and even the process's
+    // report writer) has moved on.
+    if (executed > 0) {
+      obs::count(obs::Counter::kPoolWorkerTasks, executed);
+      if (timed)
+        obs::count(obs::Counter::kPoolBusyNs,
+                   obs::trace_now_ns() - entered_ns);
     }
     tls_in_parallel_region = false;
   }
@@ -67,7 +87,8 @@ struct ThreadPool::Impl {
   std::uint64_t generation = 0;
   std::shared_ptr<Job> current;
 
-  void worker_loop() {
+  void worker_loop(unsigned worker_index) {
+    obs::set_thread_name("pool-worker-" + std::to_string(worker_index));
     std::uint64_t seen_generation = 0;
     for (;;) {
       std::shared_ptr<Job> job;
@@ -93,7 +114,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   impl_ = new Impl;
   impl_->workers.reserve(num_threads_ - 1);
   for (unsigned t = 0; t + 1 < num_threads_; ++t)
-    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    impl_->workers.emplace_back([this, t] { impl_->worker_loop(t); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -110,10 +131,17 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
                               const std::function<void(std::uint64_t)>& fn) {
   if (begin >= end) return;
+  // Job/task counts are index arithmetic, identical at any thread count;
+  // only kPoolBusyNs (measured in Job::work) is scheduling-dependent.
+  obs::count(obs::Counter::kPoolJobs);
+  obs::count(obs::Counter::kPoolTasks, end - begin);
+  obs::observe(obs::Histo::kPoolTasksPerJob, end - begin);
   if (!impl_ || tls_in_parallel_region || end - begin == 1) {
+    obs::count(obs::Counter::kPoolWorkerTasks, end - begin);
     run_inline(begin, end, fn);
     return;
   }
+  RDC_SPAN("pool.parallel_for");
   auto job = std::make_shared<Job>();
   job->end = end;
   job->fn = &fn;

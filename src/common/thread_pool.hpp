@@ -12,6 +12,13 @@
 // RDC_THREADS=1 debugging behave exactly like the serial code. Nested
 // parallel_for calls (a flow inside an already-parallel harness loop) also
 // run inline on the calling worker rather than deadlocking on pool slots.
+// Exception propagation and nested deadlock-freedom are covered by
+// tests/test_obs.cpp (ThreadPool suite).
+//
+// Observability: parallel_for feeds the rdc::obs counters (pool.jobs,
+// pool.tasks, per-worker pool.busy_ns) and emits a "pool.parallel_for"
+// trace span when RDC_TRACE is active; workers register as
+// "pool-worker-N" in trace and utilization output.
 #pragma once
 
 #include <cstdint>

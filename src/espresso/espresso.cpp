@@ -6,6 +6,8 @@
 #include "espresso/expand.hpp"
 #include "espresso/irredundant.hpp"
 #include "espresso/reduce.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace rdc {
 namespace {
@@ -27,16 +29,23 @@ Cost cost_of(const Cover& cover) {
 
 Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
                const EspressoOptions& options) {
+  RDC_SPAN("espresso.run");
+  obs::count(obs::Counter::kEspressoCalls);
   Cover current = on;
   current.remove_single_cube_contained();
-  if (current.empty_cover()) return current;
+  if (current.empty_cover()) {
+    obs::observe(obs::Histo::kEspressoIterations, 0);
+    return current;
+  }
 
   current = expand(current, off);
   current = irredundant(current, dc);
   Cost best = cost_of(current);
   Cover best_cover = current;
 
+  unsigned iterations = 0;
   for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    ++iterations;
     current = reduce(current, dc);
     current = expand(current, off);
     current = irredundant(current, dc);
@@ -48,6 +57,8 @@ Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
       break;  // converged (or oscillating): keep the best seen
     }
   }
+  obs::count(obs::Counter::kEspressoIterations, iterations);
+  obs::observe(obs::Histo::kEspressoIterations, iterations);
   return best_cover;
 }
 
@@ -76,6 +87,7 @@ std::size_t minimal_sop_size(const IncompleteSpec& spec) {
 
 Cover conventional_assign(TernaryTruthTable& f) {
   const Cover cover = minimize(f);
+  obs::count(obs::Counter::kDcConventionalAssigned, f.dc_count());
   for (std::uint32_t m : f.dc_minterms())
     f.set_phase(m, cover.covers_minterm(m) ? Phase::kOne : Phase::kZero);
   return cover;

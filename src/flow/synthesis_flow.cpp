@@ -8,6 +8,8 @@
 #include "common/thread_pool.hpp"
 #include "decomp/renode.hpp"
 #include "espresso/espresso.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "reliability/error_rate.hpp"
 #include "sop/extract.hpp"
 #include "sop/factor.hpp"
@@ -15,32 +17,45 @@
 namespace rdc {
 namespace {
 
-/// Factor + AIG + map a set of per-output covers.
+/// Factor + AIG + map a set of per-output covers. When `report` is given,
+/// the factor_aig / map phases are timed into it and the AIG node count is
+/// recorded as a metric.
 Netlist synthesize_covers(unsigned num_inputs,
                           const std::vector<Cover>& covers,
                           OptimizeFor objective, bool resyn_recipe,
-                          bool use_extraction, const CellLibrary& lib) {
-  Aig aig(num_inputs);
-  if (use_extraction) {
-    const ExtractionResult extraction = build_with_extraction(aig, covers);
-    for (const std::uint32_t out : extraction.outputs) aig.add_output(out);
-  } else {
-    for (const Cover& cover : covers) aig.add_output(aig.build(factor(cover)));
-  }
-  if (resyn_recipe) {
-    // Second-opinion restructuring: balance, refactor nodes against their
-    // satisfiability DCs (output-preserving), keep the result only when it
-    // shrinks, balance again.
-    aig = balance(aig);
-    RenodeOptions renode_options;
-    renode_options.reliability_assign = false;
-    RenodeResult refactored = renode_and_assign(aig, renode_options);
-    if (refactored.network.num_ands() < aig.num_ands())
-      aig = std::move(refactored.network);
-    aig = balance(aig);
-  }
-  if (objective == OptimizeFor::kDelay) aig = balance(aig);
+                          bool use_extraction, const CellLibrary& lib,
+                          obs::FlowReport* report) {
+  obs::FlowReport scratch;  // discarded when the caller doesn't want one
+  obs::FlowReport& r = report != nullptr ? *report : scratch;
 
+  Aig aig(num_inputs);
+  {
+    obs::PhaseScope phase(r, "factor_aig");
+    if (use_extraction) {
+      const ExtractionResult extraction = build_with_extraction(aig, covers);
+      for (const std::uint32_t out : extraction.outputs) aig.add_output(out);
+    } else {
+      for (const Cover& cover : covers)
+        aig.add_output(aig.build(factor(cover)));
+    }
+    if (resyn_recipe) {
+      // Second-opinion restructuring: balance, refactor nodes against their
+      // satisfiability DCs (output-preserving), keep the result only when it
+      // shrinks, balance again.
+      aig = balance(aig);
+      RenodeOptions renode_options;
+      renode_options.reliability_assign = false;
+      RenodeResult refactored = renode_and_assign(aig, renode_options);
+      if (refactored.network.num_ands() < aig.num_ands())
+        aig = std::move(refactored.network);
+      aig = balance(aig);
+    }
+    if (objective == OptimizeFor::kDelay) aig = balance(aig);
+  }
+  obs::count(obs::Counter::kAigAndsBuilt, aig.num_ands());
+  r.metrics.set("aig_ands", aig.num_ands());
+
+  obs::PhaseScope phase(r, "map");
   MapOptions map_options;
   map_options.objective = objective == OptimizeFor::kDelay
                               ? MapObjective::kDelay
@@ -48,9 +63,21 @@ Netlist synthesize_covers(unsigned num_inputs,
   return map_aig(aig, lib, map_options);
 }
 
+const char* policy_name(DcPolicy policy) {
+  switch (policy) {
+    case DcPolicy::kConventional: return "conventional";
+    case DcPolicy::kRankingFraction: return "ranking_fraction";
+    case DcPolicy::kRankingIncremental: return "ranking_incremental";
+    case DcPolicy::kLcfThreshold: return "lcf_threshold";
+    case DcPolicy::kAllReliability: return "all_reliability";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
+  RDC_SPAN("flow.synthesize");
   for (const auto& f : assigned.outputs())
     if (!f.fully_specified())
       throw std::invalid_argument("synthesize: spec must be fully assigned");
@@ -64,31 +91,36 @@ Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
       });
   return synthesize_covers(assigned.num_inputs(), covers, objective,
                            /*resyn_recipe=*/false, /*use_extraction=*/false,
-                           CellLibrary::generic70());
+                           CellLibrary::generic70(), /*report=*/nullptr);
 }
 
 FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
                     const FlowOptions& options) {
+  RDC_SPAN("flow.run");
+  obs::FlowReport report;
   IncompleteSpec working = spec;
 
   AssignmentResult assignment;
-  switch (policy) {
-    case DcPolicy::kConventional:
-      break;
-    case DcPolicy::kRankingFraction:
-      assignment = ranking_assign(working, options.ranking_fraction);
-      break;
-    case DcPolicy::kRankingIncremental:
-      assignment =
-          ranking_assign_incremental(working, options.ranking_fraction);
-      break;
-    case DcPolicy::kLcfThreshold:
-      assignment = lcf_assign(working, options.lcf_threshold,
-                              options.lcf_assign_balanced);
-      break;
-    case DcPolicy::kAllReliability:
-      assignment = ranking_assign(working, 1.0);
-      break;
+  {
+    obs::PhaseScope phase(report, "dc_assign");
+    switch (policy) {
+      case DcPolicy::kConventional:
+        break;
+      case DcPolicy::kRankingFraction:
+        assignment = ranking_assign(working, options.ranking_fraction);
+        break;
+      case DcPolicy::kRankingIncremental:
+        assignment =
+            ranking_assign_incremental(working, options.ranking_fraction);
+        break;
+      case DcPolicy::kLcfThreshold:
+        assignment = lcf_assign(working, options.lcf_threshold,
+                                options.lcf_assign_balanced);
+        break;
+      case DcPolicy::kAllReliability:
+        assignment = ranking_assign(working, 1.0);
+        break;
+    }
   }
 
   // Conventional assignment of whatever the reliability pass left as DC —
@@ -98,20 +130,44 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
   // the process-wide pool (RDC_THREADS).
   std::vector<Cover> covers(working.num_outputs(),
                             Cover(working.num_inputs()));
-  ThreadPool::global().parallel_for(
-      0, working.num_outputs(), [&](std::uint64_t o) {
-        covers[o] = conventional_assign(working.output(static_cast<unsigned>(o)));
-      });
+  {
+    obs::PhaseScope phase(report, "espresso");
+    ThreadPool::global().parallel_for(
+        0, working.num_outputs(), [&](std::uint64_t o) {
+          covers[o] =
+              conventional_assign(working.output(static_cast<unsigned>(o)));
+        });
+  }
 
   FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
-                    assignment};
+                    assignment, {}};
   const CellLibrary& lib =
       options.library ? *options.library : CellLibrary::generic70();
   result.netlist = synthesize_covers(spec.num_inputs(), covers,
                                      options.objective, options.resyn_recipe,
-                                     options.use_extraction, lib);
-  result.stats = analyze_netlist(result.netlist, lib);
-  result.error_rate = exact_error_rate(result.implementation, spec);
+                                     options.use_extraction, lib, &report);
+  {
+    obs::PhaseScope phase(report, "analyze");
+    result.stats = analyze_netlist(result.netlist, lib);
+  }
+  {
+    obs::PhaseScope phase(report, "error_rate");
+    result.error_rate = exact_error_rate(result.implementation, spec);
+  }
+
+  report.metrics.set("name", spec.name());
+  report.metrics.set("policy", policy_name(policy));
+  report.metrics.set("inputs", spec.num_inputs());
+  report.metrics.set("outputs", spec.num_outputs());
+  report.metrics.set("dc_before", assignment.dc_before);
+  report.metrics.set("dc_assigned", assignment.assigned);
+  report.metrics.set("dc_assigned_on", assignment.assigned_on);
+  report.metrics.set("gates", result.stats.gates);
+  report.metrics.set("area", result.stats.area);
+  report.metrics.set("delay_ps", result.stats.delay_ps);
+  report.metrics.set("power_uw", result.stats.power_uw);
+  report.metrics.set("error_rate", result.error_rate);
+  result.report = std::move(report);
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "mapper/power.hpp"
 #include "mapper/tree_map.hpp"
+#include "obs/report.hpp"
 #include "reliability/assignment.hpp"
 #include "tt/incomplete_spec.hpp"
 
@@ -56,6 +57,10 @@ struct FlowResult {
   NetlistStats stats;
   double error_rate = 0.0;        ///< exact, against the original spec
   AssignmentResult assignment;    ///< what the reliability pass did
+  /// Per-phase wall times plus the deterministic result metrics (policy,
+  /// DC statistics, AIG size, mapped area/delay/power, error rate).
+  /// Always filled; span emission follows RDC_TRACE.
+  obs::FlowReport report;
 };
 
 /// Runs the full flow on a specification.

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "mapper/subject_graph.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace rdc {
 namespace {
@@ -175,7 +177,11 @@ class TreeMapper {
 
 Netlist map_aig(const Aig& aig, const CellLibrary& lib,
                 const MapOptions& options) {
-  return TreeMapper(aig, lib, options).run();
+  RDC_SPAN("map.map_aig");
+  obs::count(obs::Counter::kMapRuns);
+  Netlist netlist = TreeMapper(aig, lib, options).run();
+  obs::count(obs::Counter::kMapGates, netlist.gates().size());
+  return netlist;
 }
 
 }  // namespace rdc

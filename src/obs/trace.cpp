@@ -1,0 +1,267 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/stats.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace rdc::obs {
+namespace detail {
+
+std::atomic<int> g_trace_mode{-1};
+
+}  // namespace detail
+
+namespace {
+
+/// Per-thread span buffer. Appends happen on the owning thread; drains
+/// happen on whichever thread reports — the mutex covers that handoff.
+/// Buffers are heap-allocated and intentionally leaked so that pool
+/// workers still alive during static destruction (or an atexit flush)
+/// never touch freed memory.
+struct ThreadBuf {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadBuf*> buffers;
+  std::uint32_t next_tid = 0;
+  std::string output_path;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leaked: see ThreadBuf
+  return *instance;
+}
+
+thread_local ThreadBuf* tls_buf = nullptr;
+thread_local std::uint32_t tls_depth = 0;
+
+ThreadBuf& thread_buf() {
+  if (tls_buf == nullptr) {
+    auto* buf = new ThreadBuf;  // leaked: see struct comment
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buf->tid = reg.next_tid++;
+    reg.buffers.push_back(buf);
+    tls_buf = buf;
+  }
+  return *tls_buf;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void flush_at_exit() {
+  const TraceMode mode = trace_mode();
+  if (mode == TraceMode::kJson) {
+    std::string path;
+    {
+      Registry& reg = registry();
+      std::lock_guard<std::mutex> lock(reg.mutex);
+      path = reg.output_path;
+    }
+    if (write_chrome_trace(path))
+      std::fprintf(stderr, "[rdc::obs] trace written to %s\n", path.c_str());
+  } else if (mode == TraceMode::kSummary) {
+    write_trace_summary(stderr);
+    write_counters_summary(stderr);
+  }
+}
+
+void install_mode(TraceMode mode, std::string output_path) {
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.output_path = std::move(output_path);
+  }
+  trace_epoch();  // pin the epoch no later than activation
+  if (mode != TraceMode::kOff) set_counters_enabled(true);
+  detail::g_trace_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+int init_trace_mode_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("RDC_TRACE");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "off") == 0) {
+      install_mode(TraceMode::kOff, "");
+      return;
+    }
+    const TraceMode mode = std::strcmp(env, "summary") == 0
+                               ? TraceMode::kSummary
+                               : TraceMode::kJson;
+    install_mode(mode, mode == TraceMode::kJson ? env : "");
+    std::atexit(flush_at_exit);
+  });
+  return g_trace_mode.load(std::memory_order_relaxed);
+}
+
+void span_finish(const char* name, std::uint64_t start_ns) {
+  const std::uint64_t end_ns = trace_now_ns();
+  ThreadBuf& buf = thread_buf();
+  --tls_depth;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.spans.push_back(
+      {name, start_ns, end_ns - start_ns, buf.tid, tls_depth});
+}
+
+}  // namespace detail
+
+std::uint64_t Span::begin() {
+  ++tls_depth;
+  return trace_now_ns();
+}
+
+void set_trace_mode(TraceMode mode, std::string output_path) {
+  // Force the env path to resolve first so a later lazy init cannot
+  // overwrite a programmatic choice.
+  detail::init_trace_mode_from_env();
+  install_mode(mode, std::move(output_path));
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::uint32_t current_thread_id() { return thread_buf().tid; }
+
+void set_thread_name(std::string name) {
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.name = std::move(name);
+}
+
+std::vector<SpanRecord> drain_spans() {
+  std::vector<ThreadBuf*> buffers;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<SpanRecord> all;
+  for (ThreadBuf* buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    all.insert(all.end(), buf->spans.begin(), buf->spans.end());
+    buf->spans.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  return all;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> thread_names() {
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (ThreadBuf* buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    if (!buf->name.empty()) names.emplace_back(buf->tid, buf->name);
+  }
+  return names;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::vector<SpanRecord> spans = drain_spans();
+
+  JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const auto& [tid, name] : thread_names()) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("thread_name");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(std::uint64_t{tid});
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  }
+  for (const SpanRecord& span : spans) {
+    w.begin_object();
+    w.key("ph").value("X");
+    w.key("name").value(span.name);
+    w.key("cat").value("rdc");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(std::uint64_t{span.tid});
+    w.key("ts").value(static_cast<double>(span.start_ns) / 1000.0);
+    w.key("dur").value(static_cast<double>(span.duration_ns) / 1000.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "[rdc::obs] cannot write trace to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
+}
+
+void write_trace_summary(std::FILE* out) {
+  const std::vector<SpanRecord> spans = drain_spans();
+  // Aggregate wall time per span name. std::map keeps the table sorted by
+  // name for ties after the by-total sort below.
+  std::map<std::string_view, std::vector<double>> by_name;
+  for (const SpanRecord& span : spans)
+    by_name[span.name].push_back(static_cast<double>(span.duration_ns) /
+                                 1e6);
+
+  struct Line {
+    std::string_view name;
+    Summary summary;
+    double total_ms = 0.0;
+  };
+  std::vector<Line> lines;
+  for (const auto& [name, durations] : by_name) {
+    Line line{name, summarize(durations), 0.0};
+    line.total_ms = line.summary.mean * static_cast<double>(line.summary.count);
+    lines.push_back(line);
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) {
+                     return a.total_ms > b.total_ms;
+                   });
+
+  std::fprintf(out, "\n[rdc::obs] span summary (wall time, ms)\n");
+  std::fprintf(out, "%-24s %8s %10s %10s %10s %10s\n", "span", "count",
+               "total", "mean", "min", "max");
+  for (const Line& line : lines)
+    std::fprintf(out, "%-24.*s %8zu %10.3f %10.4f %10.4f %10.4f\n",
+                 static_cast<int>(line.name.size()), line.name.data(),
+                 line.summary.count, line.total_ms, line.summary.mean,
+                 line.summary.min, line.summary.max);
+  if (lines.empty()) std::fprintf(out, "(no spans recorded)\n");
+}
+
+}  // namespace rdc::obs

@@ -1,0 +1,120 @@
+// Scoped-span tracer for the synthesis flow and the kernel hot path.
+//
+// Usage: drop `RDC_SPAN("espresso");` at the top of a scope. When tracing
+// is enabled the span records its wall-clock interval into a thread-local
+// buffer; buffers are flushed to a process-global sink on demand or at
+// process exit. When tracing is disabled the macro costs one relaxed
+// atomic load and a predictable branch — no clock reads, no allocation.
+//
+// Activation, via the RDC_TRACE environment variable (read once):
+//   RDC_TRACE=summary    aggregated per-span table on stderr at exit
+//   RDC_TRACE=<path>     Chrome trace_event JSON written to <path> at exit
+//                        (load via chrome://tracing or https://ui.perfetto.dev)
+//   unset / "" / "0"     disabled
+// Tests and tools can instead call set_trace_mode() directly; kCapture
+// records spans without installing any at-exit output.
+//
+// Span names must be string literals (or otherwise outlive the process) —
+// records store the pointer, never a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdc::obs {
+
+enum class TraceMode : int {
+  kOff = 0,      ///< spans compile to an enabled-flag check
+  kJson = 1,     ///< RDC_TRACE=<path>: Chrome trace JSON at exit
+  kSummary = 2,  ///< RDC_TRACE=summary: per-span table on stderr at exit
+  kCapture = 3,  ///< record only; consumer drains explicitly (tests)
+};
+
+namespace detail {
+/// -1 until first use; then the TraceMode value. Kept raw so the
+/// fast-path check below stays a single load.
+extern std::atomic<int> g_trace_mode;
+int init_trace_mode_from_env();
+inline int trace_mode_raw() {
+  const int mode = g_trace_mode.load(std::memory_order_relaxed);
+  return mode >= 0 ? mode : init_trace_mode_from_env();
+}
+void span_finish(const char* name, std::uint64_t start_ns);
+}  // namespace detail
+
+inline bool trace_enabled() { return detail::trace_mode_raw() != 0; }
+inline TraceMode trace_mode() {
+  return static_cast<TraceMode>(detail::trace_mode_raw());
+}
+
+/// Programmatic activation (overrides the environment). `output_path` is
+/// only meaningful for kJson and names the file written by
+/// write_chrome_trace() / the at-exit hook.
+void set_trace_mode(TraceMode mode, std::string output_path = "");
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+std::uint64_t trace_now_ns();
+
+/// Small dense id of the calling thread (0 = first thread observed).
+std::uint32_t current_thread_id();
+
+/// Labels the calling thread in trace output ("pool-worker-3", ...).
+void set_thread_name(std::string name);
+
+/// One completed span. `depth` is the nesting level on the owning thread
+/// at the time the span opened (0 = outermost).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// RAII span; see RDC_SPAN. Never allocates when tracing is off.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      start_ns_ = begin();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::span_finish(name_, start_ns_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static std::uint64_t begin();  // stamps the clock, bumps nesting depth
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+#define RDC_SPAN_CONCAT_IMPL(a, b) a##b
+#define RDC_SPAN_CONCAT(a, b) RDC_SPAN_CONCAT_IMPL(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define RDC_SPAN(name) \
+  ::rdc::obs::Span RDC_SPAN_CONCAT(rdc_span_at_line_, __LINE__)(name)
+
+/// Moves every buffered span out of the thread-local buffers, sorted by
+/// (tid, start, depth) so the result is stable for a given execution.
+std::vector<SpanRecord> drain_spans();
+
+/// (tid, label) pairs registered via set_thread_name.
+std::vector<std::pair<std::uint32_t, std::string>> thread_names();
+
+/// Drains all spans and writes them as Chrome trace_event JSON. Returns
+/// false (and prints to stderr) when the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+/// Drains all spans and prints an aggregated per-span-name table
+/// (count / total / mean / min / max wall time, sorted by total).
+void write_trace_summary(std::FILE* out);
+
+}  // namespace rdc::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/counters.hpp"
 #include "reliability/complexity.hpp"
 #include "tt/neighbor_stats.hpp"
 
@@ -69,7 +70,9 @@ AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction) {
   // Fig. 3 assigns indices 0 .. fraction * DC_List.length.
   const auto count = static_cast<std::size_t>(
       std::llround(fraction * static_cast<double>(list.size())));
-  return apply_prefix(f, list, count);
+  const AssignmentResult result = apply_prefix(f, list, count);
+  obs::count(obs::Counter::kDcRankingAssigned, result.assigned);
+  return result;
 }
 
 AssignmentResult ranking_assign_count(TernaryTruthTable& f,
@@ -151,6 +154,7 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
         heap.push({weight_of(nbr), nbr});
     }
   }
+  obs::count(obs::Counter::kDcIncrementalAssigned, result.assigned);
   return result;
 }
 
@@ -174,6 +178,7 @@ AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
     ++result.assigned;
     if (to_on) ++result.assigned_on;
   }
+  obs::count(obs::Counter::kDcLcfAssigned, result.assigned);
   return result;
 }
 

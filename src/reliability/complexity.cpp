@@ -1,6 +1,7 @@
 #include "reliability/complexity.hpp"
 
 #include "common/bitvec.hpp"
+#include "obs/counters.hpp"
 
 namespace rdc {
 
@@ -25,6 +26,7 @@ std::uint64_t same_phase_pairs(const TernaryTruthTable& f) {
 double complexity_factor(const TernaryTruthTable& f) {
   const unsigned n = f.num_inputs();
   if (n == 0) return 0.0;
+  obs::count(obs::Counter::kComplexityEvals);
   return static_cast<double>(same_phase_pairs(f)) /
          (static_cast<double>(n) * static_cast<double>(f.size()));
 }

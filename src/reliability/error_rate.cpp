@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/bitvec.hpp"
+#include "obs/counters.hpp"
 #include "tt/neighbor_stats.hpp"
 
 namespace rdc {
@@ -44,6 +45,8 @@ double check_pin_weights(std::span<const double> pin_weights, unsigned n,
 double exact_error_rate(const TernaryTruthTable& implementation,
                         const TernaryTruthTable& spec) {
   check_error_rate_pair(implementation, spec, "exact_error_rate");
+  obs::count(obs::Counter::kErrorRateCalls);
+  obs::count(obs::Counter::kErrorRateMinterms, spec.size());
 
   // Word-parallel form: an event (care source m, pin j) propagates iff the
   // implementation's value changes when pin j flips, so per pin the

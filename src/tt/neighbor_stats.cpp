@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/bitvec.hpp"
+#include "obs/counters.hpp"
 
 namespace rdc {
 namespace {
@@ -111,6 +112,7 @@ NeighborTable::NeighborTable(const TernaryTruthTable& f)
       on_(new std::uint8_t[f.size()]),
       off_(new std::uint8_t[f.size()]),
       dc_(new std::uint8_t[f.size()]) {
+  obs::count(obs::Counter::kNeighborTableBuilds);
   const unsigned n = num_inputs_;
   const std::uint64_t* on = f.on_bits().data();
   const std::uint64_t* dc = f.dc_bits().data();

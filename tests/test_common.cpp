@@ -85,9 +85,26 @@ TEST(Rng, UniformIsInUnitInterval) {
 }
 
 TEST(Stats, SummarizeEmpty) {
+  // Documented contract (see Summary): an empty sample reports count == 0
+  // with zeroed moments — consumers must branch on count/empty(), because
+  // the zeros alone cannot be told apart from an all-zero sample.
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
   EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeEmptyDistinguishableFromAllZero) {
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  const Summary all_zero = summarize(zeros);
+  const Summary empty = summarize({});
+  // Same moments, different count — empty() is the only reliable signal.
+  EXPECT_EQ(all_zero.mean, empty.mean);
+  EXPECT_FALSE(all_zero.empty());
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(all_zero.count, 3u);
 }
 
 TEST(Stats, SummarizeBasics) {
@@ -290,6 +307,58 @@ TEST(ThreadPool, PropagatesException) {
   std::atomic<int> ok{0};
   pool.parallel_for(0, 4, [&](std::uint64_t) { ok.fetch_add(1); });
   EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesExceptionMessageAndDrainsRange) {
+  ThreadPool pool(4);
+  // A throwing index must not abort the others (workers keep pulling), and
+  // the caller receives the first captured exception intact.
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(0, 64, [&](std::uint64_t i) {
+      if (i == 3) throw std::runtime_error("index 3 failed");
+      executed.fetch_add(1);
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "index 3 failed");
+  }
+  EXPECT_EQ(executed.load(), 63);
+}
+
+TEST(ThreadPool, NestedExceptionStillPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::uint64_t) {
+                                   pool.parallel_for(0, 4, [&](std::uint64_t j) {
+                                     if (j == 2)
+                                       throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedAcrossDistinctPoolsDoesNotDeadlock) {
+  // Nesting is detected per thread, not per pool: a worker of pool A that
+  // calls into pool B must run inline rather than block on B's queue.
+  ThreadPool outer(4);
+  ThreadPool inner(4);
+  std::atomic<int> total{0};
+  outer.parallel_for(0, 8, [&](std::uint64_t) {
+    inner.parallel_for(0, 8, [&](std::uint64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, DeeplyNestedCallsComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(0, 2, [&](std::uint64_t) {
+    pool.parallel_for(0, 2, [&](std::uint64_t) {
+      pool.parallel_for(0, 2, [&](std::uint64_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 8);
 }
 
 TEST(ThreadPool, SingleThreadRunsInline) {

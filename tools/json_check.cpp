@@ -1,0 +1,60 @@
+// CI helper: validates that a JSON file parses (with the same minimal
+// parser the test suite uses) and contains the given top-level keys.
+// Dotted paths descend into nested objects ("meta.threshold"). Used by
+// scripts/check.sh to smoke-test the --json bench reports and the
+// RDC_TRACE Chrome trace output without requiring python.
+//
+// Usage: rdc_json_check <file> [key ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file> [key ...]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rdc_json_check: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  const auto doc = rdc::obs::parse_json(text, &error);
+  if (!doc) {
+    std::fprintf(stderr, "rdc_json_check: %s: parse error: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string path = argv[i];
+    const rdc::obs::JsonValue* node = &*doc;
+    std::size_t begin = 0;
+    while (node != nullptr && begin <= path.size()) {
+      const std::size_t dot = path.find('.', begin);
+      const std::string key = path.substr(
+          begin, dot == std::string::npos ? std::string::npos : dot - begin);
+      node = node->find(key);
+      if (dot == std::string::npos) break;
+      begin = dot + 1;
+    }
+    if (node == nullptr) {
+      std::fprintf(stderr, "rdc_json_check: %s: missing key '%s'\n", argv[1],
+                   path.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+  std::printf("rdc_json_check: %s ok (%d key%s checked)\n", argv[1],
+              argc - 2, argc - 2 == 1 ? "" : "s");
+  return 0;
+}
