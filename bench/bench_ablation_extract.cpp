@@ -22,36 +22,46 @@ int main(int argc, char** argv) {
   obs::RunReport report("ablation_extract");
   double mean_conv = 0.0;
   double mean_lcf = 0.0;
+  std::size_t ok_circuits = 0;
   for (const IncompleteSpec& spec : bench::suite()) {
-    FlowOptions plain;
-    FlowOptions extracting;
-    extracting.use_extraction = true;
+    const exec::Status status = bench::run_guarded(options_cli, [&] {
+      FlowOptions plain;
+      FlowOptions extracting;
+      extracting.use_extraction = true;
 
-    const double conv0 =
-        run_flow(spec, DcPolicy::kConventional, plain).stats.area;
-    const double conv1 =
-        run_flow(spec, DcPolicy::kConventional, extracting).stats.area;
-    const double lcf0 =
-        run_flow(spec, DcPolicy::kLcfThreshold, plain).stats.area;
-    const double lcf1 =
-        run_flow(spec, DcPolicy::kLcfThreshold, extracting).stats.area;
+      const double conv0 =
+          run_flow(spec, DcPolicy::kConventional, plain).stats.area;
+      const double conv1 =
+          run_flow(spec, DcPolicy::kConventional, extracting).stats.area;
+      const double lcf0 =
+          run_flow(spec, DcPolicy::kLcfThreshold, plain).stats.area;
+      const double lcf1 =
+          run_flow(spec, DcPolicy::kLcfThreshold, extracting).stats.area;
 
-    const double dc = bench::improvement_percent(conv0, conv1);
-    const double dl = bench::improvement_percent(lcf0, lcf1);
-    mean_conv += dc;
-    mean_lcf += dl;
-    std::printf("%-8s | %9.1f %9.1f %7.1f | %9.1f %9.1f %7.1f\n",
-                spec.name().c_str(), conv0, conv1, dc, lcf0, lcf1, dl);
-    obs::Record& r = report.add_row();
-    r.set("name", spec.name());
-    r.set("conventional_area", conv0);
-    r.set("conventional_area_extracted", conv1);
-    r.set("conventional_delta_percent", dc);
-    r.set("lcf_area", lcf0);
-    r.set("lcf_area_extracted", lcf1);
-    r.set("lcf_delta_percent", dl);
+      const double dc = bench::improvement_percent(conv0, conv1);
+      const double dl = bench::improvement_percent(lcf0, lcf1);
+      mean_conv += dc;
+      mean_lcf += dl;
+      std::printf("%-8s | %9.1f %9.1f %7.1f | %9.1f %9.1f %7.1f\n",
+                  spec.name().c_str(), conv0, conv1, dc, lcf0, lcf1, dl);
+      obs::Record& r = report.add_row();
+      r.set("name", spec.name());
+      r.set("status", "OK");
+      r.set("conventional_area", conv0);
+      r.set("conventional_area_extracted", conv1);
+      r.set("conventional_delta_percent", dc);
+      r.set("lcf_area", lcf0);
+      r.set("lcf_area_extracted", lcf1);
+      r.set("lcf_delta_percent", dl);
+    });
+    if (!status.ok()) {
+      bench::print_error_row(spec.name(), status);
+      bench::add_error_row(report, spec.name(), status);
+      continue;
+    }
+    ++ok_circuits;
   }
-  const double n = static_cast<double>(bench::suite().size());
+  const double n = static_cast<double>(ok_circuits == 0 ? 1 : ok_circuits);
   std::printf("%-8s | %9s %9s %7.1f | %9s %9s %7.1f\n", "mean", "", "",
               mean_conv / n, "", "", mean_lcf / n);
   bench::note(

@@ -28,21 +28,32 @@ int main(int argc, char** argv) {
     double er_incremental = 0.0;
     double area_static = 0.0;
     double area_incremental = 0.0;
+    std::size_t ok_circuits = 0;
     for (const IncompleteSpec& spec : bench::suite()) {
-      const FlowResult baseline = run_flow(spec, DcPolicy::kConventional);
-      FlowOptions options;
-      options.ranking_fraction = fraction;
-      const FlowResult s =
-          run_flow(spec, DcPolicy::kRankingFraction, options);
-      const FlowResult i =
-          run_flow(spec, DcPolicy::kRankingIncremental, options);
-      er_static += bench::normalized(baseline.error_rate, s.error_rate);
-      er_incremental += bench::normalized(baseline.error_rate, i.error_rate);
-      area_static += bench::normalized(baseline.stats.area, s.stats.area);
-      area_incremental +=
-          bench::normalized(baseline.stats.area, i.stats.area);
+      const exec::Status status = bench::run_guarded(options_cli, [&] {
+        const FlowResult baseline = run_flow(spec, DcPolicy::kConventional);
+        FlowOptions options;
+        options.ranking_fraction = fraction;
+        const FlowResult s =
+            run_flow(spec, DcPolicy::kRankingFraction, options);
+        const FlowResult i =
+            run_flow(spec, DcPolicy::kRankingIncremental, options);
+        er_static += bench::normalized(baseline.error_rate, s.error_rate);
+        er_incremental +=
+            bench::normalized(baseline.error_rate, i.error_rate);
+        area_static += bench::normalized(baseline.stats.area, s.stats.area);
+        area_incremental +=
+            bench::normalized(baseline.stats.area, i.stats.area);
+      });
+      if (!status.ok()) {
+        bench::print_error_row(spec.name(), status);
+        bench::add_error_row(report, spec.name(), status);
+        continue;
+      }
+      ++ok_circuits;
     }
-    const double count = static_cast<double>(bench::suite().size());
+    const double count =
+        static_cast<double>(ok_circuits == 0 ? 1 : ok_circuits);
     std::printf("%8.2f | %12.3f %12.3f | %12.3f %12.3f\n", fraction,
                 er_static / count, er_incremental / count,
                 area_static / count, area_incremental / count);

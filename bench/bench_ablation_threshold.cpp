@@ -25,23 +25,33 @@ int main(int argc, char** argv) {
     double assigned_sum = 0.0;
     double area_sum = 0.0;
     double error_sum = 0.0;
+    std::size_t ok_circuits = 0;
     for (const IncompleteSpec& spec : bench::suite()) {
-      const FlowResult conventional =
-          run_flow(spec, DcPolicy::kConventional);
-      FlowOptions options;
-      options.lcf_threshold = threshold;
-      const FlowResult lcf =
-          run_flow(spec, DcPolicy::kLcfThreshold, options);
-      assigned_sum += lcf.assignment.dc_before > 0
-                          ? 100.0 * lcf.assignment.assigned /
-                                lcf.assignment.dc_before
-                          : 0.0;
-      area_sum += bench::improvement_percent(conventional.stats.area,
-                                             lcf.stats.area);
-      error_sum += bench::improvement_percent(conventional.error_rate,
-                                              lcf.error_rate);
+      const exec::Status status = bench::run_guarded(options_cli, [&] {
+        const FlowResult conventional =
+            run_flow(spec, DcPolicy::kConventional);
+        FlowOptions options;
+        options.lcf_threshold = threshold;
+        const FlowResult lcf =
+            run_flow(spec, DcPolicy::kLcfThreshold, options);
+        assigned_sum += lcf.assignment.dc_before > 0
+                            ? 100.0 * lcf.assignment.assigned /
+                                  lcf.assignment.dc_before
+                            : 0.0;
+        area_sum += bench::improvement_percent(conventional.stats.area,
+                                               lcf.stats.area);
+        error_sum += bench::improvement_percent(conventional.error_rate,
+                                                lcf.error_rate);
+      });
+      if (!status.ok()) {
+        bench::print_error_row(spec.name(), status);
+        bench::add_error_row(report, spec.name(), status);
+        continue;
+      }
+      ++ok_circuits;
     }
-    const double count = static_cast<double>(bench::suite().size());
+    const double count =
+        static_cast<double>(ok_circuits == 0 ? 1 : ok_circuits);
     std::printf("%9.2f %10.1f %12.2f %12.2f\n", threshold,
                 assigned_sum / count, area_sum / count, error_sum / count);
     obs::Record& r = report.add_row();

@@ -23,40 +23,50 @@ int main(int argc, char** argv) {
 
   obs::RunReport report("ablation_ties");
   double skip_area = 0.0, skip_er = 0.0, lit_area = 0.0, lit_er = 0.0;
+  std::size_t ok_circuits = 0;
   for (const IncompleteSpec& spec : bench::suite()) {
-    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
+    const exec::Status status = bench::run_guarded(options_cli, [&] {
+      const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
 
-    FlowOptions skip_options;  // default: ties left to the optimizer
-    const FlowResult skip =
-        run_flow(spec, DcPolicy::kLcfThreshold, skip_options);
+      FlowOptions skip_options;  // default: ties left to the optimizer
+      const FlowResult skip =
+          run_flow(spec, DcPolicy::kLcfThreshold, skip_options);
 
-    FlowOptions literal_options;
-    literal_options.lcf_assign_balanced = true;  // pseudocode-literal
-    const FlowResult literal =
-        run_flow(spec, DcPolicy::kLcfThreshold, literal_options);
+      FlowOptions literal_options;
+      literal_options.lcf_assign_balanced = true;  // pseudocode-literal
+      const FlowResult literal =
+          run_flow(spec, DcPolicy::kLcfThreshold, literal_options);
 
-    const double sa = bench::improvement_percent(conventional.stats.area,
-                                                 skip.stats.area);
-    const double se = bench::improvement_percent(conventional.error_rate,
-                                                 skip.error_rate);
-    const double la = bench::improvement_percent(conventional.stats.area,
-                                                 literal.stats.area);
-    const double le = bench::improvement_percent(conventional.error_rate,
-                                                 literal.error_rate);
-    skip_area += sa;
-    skip_er += se;
-    lit_area += la;
-    lit_er += le;
-    std::printf("%-8s | %10.1f %10.1f | %10.1f %10.1f\n",
-                spec.name().c_str(), sa, se, la, le);
-    obs::Record& r = report.add_row();
-    r.set("name", spec.name());
-    r.set("skip_area_improvement", sa);
-    r.set("skip_error_improvement", se);
-    r.set("literal_area_improvement", la);
-    r.set("literal_error_improvement", le);
+      const double sa = bench::improvement_percent(conventional.stats.area,
+                                                   skip.stats.area);
+      const double se = bench::improvement_percent(conventional.error_rate,
+                                                   skip.error_rate);
+      const double la = bench::improvement_percent(conventional.stats.area,
+                                                   literal.stats.area);
+      const double le = bench::improvement_percent(conventional.error_rate,
+                                                   literal.error_rate);
+      skip_area += sa;
+      skip_er += se;
+      lit_area += la;
+      lit_er += le;
+      std::printf("%-8s | %10.1f %10.1f | %10.1f %10.1f\n",
+                  spec.name().c_str(), sa, se, la, le);
+      obs::Record& r = report.add_row();
+      r.set("name", spec.name());
+      r.set("status", "OK");
+      r.set("skip_area_improvement", sa);
+      r.set("skip_error_improvement", se);
+      r.set("literal_area_improvement", la);
+      r.set("literal_error_improvement", le);
+    });
+    if (!status.ok()) {
+      bench::print_error_row(spec.name(), status);
+      bench::add_error_row(report, spec.name(), status);
+      continue;
+    }
+    ++ok_circuits;
   }
-  const double n = static_cast<double>(bench::suite().size());
+  const double n = static_cast<double>(ok_circuits == 0 ? 1 : ok_circuits);
   std::printf("%-8s | %10.1f %10.1f | %10.1f %10.1f\n", "mean",
               skip_area / n, skip_er / n, lit_area / n, lit_er / n);
   bench::note(

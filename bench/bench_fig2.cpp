@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
   for (double target = 0.05; target < 1.0; target += 0.05)
     targets.push_back(target);
 
-  const std::vector<Point> points = bench::parallel_rows<Point>(
-      targets.size() * kSeedsPerPoint, [&](std::size_t task) {
+  const bench::GuardedRows<Point> points = bench::guarded_rows<Point>(
+      options_cli, targets.size() * kSeedsPerPoint, [&](std::size_t task) {
         const double target = targets[task / kSeedsPerPoint];
         SyntheticOptions options = options_for_target(10, 0.0, target);
         options.tolerance = 0.01;
@@ -59,17 +59,30 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < targets.size(); ++i) {
     double cf_sum = 0.0;
     double size_sum = 0.0;
+    int ok_seeds = 0;
     for (int seed = 0; seed < kSeedsPerPoint; ++seed) {
-      const Point& p = points[i * kSeedsPerPoint + seed];
+      const std::size_t task = i * kSeedsPerPoint + seed;
+      if (!points.ok(task)) continue;
+      const Point& p = points.rows[task];
       cf_sum += p.cf;
       size_sum += p.implicants;
+      ++ok_seeds;
     }
-    std::printf("%8.2f %10.3f %10.1f\n", targets[i], cf_sum / kSeedsPerPoint,
-                size_sum / kSeedsPerPoint);
+    char label[32];
+    std::snprintf(label, sizeof label, "target_%.2f", targets[i]);
+    if (ok_seeds == 0) {
+      // All seeds for this target failed: one error row, first status.
+      bench::print_error_row(label, points.statuses[i * kSeedsPerPoint]);
+      bench::add_error_row(report, label, points.statuses[i * kSeedsPerPoint]);
+      continue;
+    }
+    std::printf("%8.2f %10.3f %10.1f\n", targets[i], cf_sum / ok_seeds,
+                size_sum / ok_seeds);
     obs::Record& r = report.add_row();
     r.set("target_cf", targets[i]);
-    r.set("cf", cf_sum / kSeedsPerPoint);
-    r.set("implicants", size_sum / kSeedsPerPoint);
+    r.set("cf", cf_sum / ok_seeds);
+    r.set("implicants", size_sum / ok_seeds);
+    r.set("seeds_ok", ok_seeds);
   }
 
   // Anchor points: the exact extremes of the paper's plot.

@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
   std::printf("\n--------------------------------------------------------\n");
 
   const auto& specs = bench::suite();
-  const std::vector<Row> rows =
-      bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+  const bench::GuardedRows<Row> rows =
+      bench::guarded_rows<Row>(options_cli, specs.size(),
+                               [&](std::size_t index) {
         const IncompleteSpec& spec = specs[index];
         const double baseline =
             run_flow(spec, DcPolicy::kConventional).error_rate;
@@ -54,10 +55,18 @@ int main(int argc, char** argv) {
 
   obs::RunReport report("fig4");
   std::vector<double> mean(fractions.size(), 0.0);
-  for (const Row& row : rows) {
+  for (std::size_t index = 0; index < rows.rows.size(); ++index) {
+    if (!rows.ok(index)) {
+      bench::print_error_row(specs[index].name(), rows.statuses[index]);
+      bench::add_error_row(report, specs[index].name(),
+                           rows.statuses[index]);
+      continue;
+    }
+    const Row& row = rows.rows[index];
     std::printf("%-8s", row.name.c_str());
     obs::Record& r = report.add_row();
     r.set("name", row.name);
+    r.set("status", "OK");
     for (std::size_t i = 0; i < fractions.size(); ++i) {
       mean[i] += row.normalized[i];
       std::printf(" %7.3f", row.normalized[i]);
@@ -67,9 +76,10 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  const std::size_t ok_count = rows.rows.size() - rows.failures();
   std::printf("%-8s", "mean");
   for (double& m : mean) {
-    m /= static_cast<double>(rows.size());
+    if (ok_count > 0) m /= static_cast<double>(ok_count);
     std::printf(" %7.3f", m);
   }
   std::printf("\n");

@@ -49,8 +49,9 @@ int main(int argc, char** argv) {
                    "-optimized): normalized overhead vs fraction assigned");
 
     const auto& specs = bench::suite();
-    const std::vector<Row> rows =
-        bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+    const bench::GuardedRows<Row> rows =
+        bench::guarded_rows<Row>(options_cli, specs.size(),
+                                 [&](std::size_t index) {
           const IncompleteSpec& spec = specs[index];
           FlowOptions base_options;
           base_options.objective = objective;
@@ -74,7 +75,14 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> norm_area(fractions.size());
     std::vector<std::vector<double>> norm_delay(fractions.size());
     std::vector<std::vector<double>> norm_power(fractions.size());
-    for (const Row& row : rows) {
+    for (std::size_t index = 0; index < rows.rows.size(); ++index) {
+      if (!rows.ok(index)) {
+        bench::print_error_row(specs[index].name(), rows.statuses[index]);
+        bench::add_error_row(report, specs[index].name(),
+                             rows.statuses[index]);
+        continue;
+      }
+      const Row& row = rows.rows[index];
       for (std::size_t i = 0; i < fractions.size(); ++i) {
         norm_area[i].push_back(row.area[i]);
         norm_delay[i].push_back(row.delay[i]);

@@ -45,8 +45,9 @@ int main(int argc, char** argv) {
   constexpr unsigned kOutputs = 11;
   constexpr std::uint64_t kBaseSeed = 0xF165;
 
-  const std::vector<Trajectory> runs = bench::parallel_rows<Trajectory>(
-      families.size() * kFunctionsPerFamily, [&](std::size_t task) {
+  const bench::GuardedRows<Trajectory> runs = bench::guarded_rows<Trajectory>(
+      options_cli, families.size() * kFunctionsPerFamily,
+      [&](std::size_t task) {
         const double family_cf = families[task / kFunctionsPerFamily];
         SyntheticOptions options = options_for_target(kInputs, 0.6, family_cf);
         options.num_outputs = kOutputs;
@@ -73,22 +74,36 @@ int main(int argc, char** argv) {
   for (std::size_t fam = 0; fam < families.size(); ++fam) {
     std::printf("\nFamily C^f = %.2f\n", families[fam]);
     std::printf("%8s %12s %12s\n", "fraction", "norm. area", "norm. error");
+    int ok_instances = 0;
+    for (int k = 0; k < kFunctionsPerFamily; ++k)
+      if (runs.ok(fam * kFunctionsPerFamily + k)) ++ok_instances;
+    if (ok_instances == 0) {
+      char label[32];
+      std::snprintf(label, sizeof label, "family_cf_%.2f", families[fam]);
+      bench::print_error_row(label,
+                             runs.statuses[fam * kFunctionsPerFamily]);
+      bench::add_error_row(report, label,
+                           runs.statuses[fam * kFunctionsPerFamily]);
+      continue;
+    }
     for (std::size_t i = 0; i < fractions.size(); ++i) {
       double area_sum = 0.0;
       double error_sum = 0.0;
       for (int k = 0; k < kFunctionsPerFamily; ++k) {
-        const Trajectory& t = runs[fam * kFunctionsPerFamily + k];
+        const std::size_t task = fam * kFunctionsPerFamily + k;
+        if (!runs.ok(task)) continue;
+        const Trajectory& t = runs.rows[task];
         area_sum += t.area[i];
         error_sum += t.error[i];
       }
       std::printf("%8.2f %12.3f %12.3f\n", fractions[i],
-                  area_sum / kFunctionsPerFamily,
-                  error_sum / kFunctionsPerFamily);
+                  area_sum / ok_instances, error_sum / ok_instances);
       obs::Record& r = report.add_row();
       r.set("family_cf", families[fam]);
       r.set("fraction", fractions[i]);
-      r.set("normalized_area", area_sum / kFunctionsPerFamily);
-      r.set("normalized_error", error_sum / kFunctionsPerFamily);
+      r.set("instances_ok", ok_instances);
+      r.set("normalized_area", area_sum / ok_instances);
+      r.set("normalized_error", error_sum / ok_instances);
     }
   }
   return bench::finish(options_cli, report);

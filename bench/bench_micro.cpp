@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/status.hpp"
 #include "obs/report.hpp"
 
 #include "aig/balance.hpp"
@@ -252,11 +253,26 @@ int main(int argc, char** argv) {
     return 1;
 
   CollectingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
+  // Minimal §10 fault boundary: a kernel that throws (e.g. under RDC_FAULT)
+  // still yields a report with the completed runs plus one error row.
+  rdc::exec::Status run_status;
+  try {
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } catch (...) {
+    run_status = rdc::exec::status_from_current_exception();
+    std::fprintf(stderr, "benchmark run aborted: %s\n",
+                 run_status.to_string().c_str());
+  }
   benchmark::Shutdown();
 
-  if (json_path.empty()) return 0;
+  if (json_path.empty()) return run_status.ok() ? 0 : 1;
   rdc::obs::RunReport report("micro");
+  if (!run_status.ok()) {
+    rdc::obs::Record& r = report.add_row();
+    r.set("name", "benchmark_run");
+    r.set("status", rdc::exec::status_code_name(run_status.code()));
+    r.set("error", run_status.to_string());
+  }
   for (const auto& run : reporter.runs()) {
     rdc::obs::Record& r = report.add_row();
     r.set("name", run.benchmark_name());

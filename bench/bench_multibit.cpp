@@ -30,38 +30,48 @@ int main(int argc, char** argv) {
   Rng rng(0xD00D);
   double impr1 = 0.0;
   double impr2 = 0.0;
+  std::size_t ok_circuits = 0;
   for (const IncompleteSpec& spec : bench::suite()) {
-    const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
-    const FlowResult reliability =
-        run_flow(spec, DcPolicy::kAllReliability);
+    const exec::Status status = bench::run_guarded(options_cli, [&] {
+      const FlowResult conventional = run_flow(spec, DcPolicy::kConventional);
+      const FlowResult reliability =
+          run_flow(spec, DcPolicy::kAllReliability);
 
-    const double c1 = conventional.error_rate;
-    const double r1 = reliability.error_rate;
-    const double c2 =
-        exact_error_rate_kbit(conventional.implementation, spec, 2);
-    const double r2 =
-        exact_error_rate_kbit(reliability.implementation, spec, 2);
-    const double i1 = bench::improvement_percent(c1, r1);
-    const double i2 = bench::improvement_percent(c2, r2);
-    impr1 += i1;
-    impr2 += i2;
+      const double c1 = conventional.error_rate;
+      const double r1 = reliability.error_rate;
+      const double c2 =
+          exact_error_rate_kbit(conventional.implementation, spec, 2);
+      const double r2 =
+          exact_error_rate_kbit(reliability.implementation, spec, 2);
+      const double i1 = bench::improvement_percent(c1, r1);
+      const double i2 = bench::improvement_percent(c2, r2);
+      impr1 += i1;
+      impr2 += i2;
 
-    // Monte-Carlo agreement check on the k = 1 conventional rate.
-    const double mc = sampled_error_rate(conventional.implementation, spec,
-                                         1, 20000, rng);
-    std::printf("%-8s | %8.4f %8.4f %7.1f | %8.4f %8.4f %7.1f | %8.4f\n",
-                spec.name().c_str(), c1, r1, i1, c2, r2, i2, mc - c1);
-    obs::Record& row = report.add_row();
-    row.set("name", spec.name());
-    row.set("conventional_k1", c1);
-    row.set("reliability_k1", r1);
-    row.set("improvement_k1_percent", i1);
-    row.set("conventional_k2", c2);
-    row.set("reliability_k2", r2);
-    row.set("improvement_k2_percent", i2);
-    row.set("mc_k1_error", mc - c1);
+      // Monte-Carlo agreement check on the k = 1 conventional rate.
+      const double mc = sampled_error_rate(conventional.implementation, spec,
+                                           1, 20000, rng);
+      std::printf("%-8s | %8.4f %8.4f %7.1f | %8.4f %8.4f %7.1f | %8.4f\n",
+                  spec.name().c_str(), c1, r1, i1, c2, r2, i2, mc - c1);
+      obs::Record& row = report.add_row();
+      row.set("name", spec.name());
+      row.set("status", "OK");
+      row.set("conventional_k1", c1);
+      row.set("reliability_k1", r1);
+      row.set("improvement_k1_percent", i1);
+      row.set("conventional_k2", c2);
+      row.set("reliability_k2", r2);
+      row.set("improvement_k2_percent", i2);
+      row.set("mc_k1_error", mc - c1);
+    });
+    if (!status.ok()) {
+      bench::print_error_row(spec.name(), status);
+      bench::add_error_row(report, spec.name(), status);
+      continue;
+    }
+    ++ok_circuits;
   }
-  const double n = static_cast<double>(bench::suite().size());
+  const double n = static_cast<double>(ok_circuits == 0 ? 1 : ok_circuits);
   std::printf("%-8s | %8s %8s %7.1f | %8s %8s %7.1f |\n", "mean", "", "",
               impr1 / n, "", "", impr2 / n);
   bench::note(

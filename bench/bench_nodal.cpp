@@ -49,32 +49,39 @@ int main(int argc, char** argv) {
   // the technique is demonstrated on the small/medium benchmarks.
   for (const char* name :
        {"bench", "fout", "p3", "p1", "exp", "test4", "ex1010", "exam"}) {
-    const IncompleteSpec spec = make_benchmark(name);
-    const Aig original = build_network(spec);
+    const exec::Status status = bench::run_guarded(options_cli, [&] {
+      const IncompleteSpec spec = make_benchmark(name);
+      const Aig original = build_network(spec);
 
-    const RenodeResult result = renode_and_assign(original);
+      const RenodeResult result = renode_and_assign(original);
 
-    Rng rng0(1234);
-    Rng rng1(1234);
-    const double mask_before = internal_error_rate(original, kSamples, rng0);
-    const double mask_after =
-        internal_error_rate(result.network, kSamples, rng1);
+      Rng rng0(1234);
+      Rng rng1(1234);
+      const double mask_before = internal_error_rate(original, kSamples, rng0);
+      const double mask_after =
+          internal_error_rate(result.network, kSamples, rng1);
 
-    std::printf("%-8s %7zu %7zu | %6zu %6zu | %7llu %8.3f %8.3f\n", name,
-                original.num_ands(), result.network.num_ands(),
-                result.nodes_total, result.nodes_resynthesized,
-                static_cast<unsigned long long>(result.sdc_patterns),
-                mask_before, mask_after);
-    obs::Record& r = report.add_row();
-    r.set("name", name);
-    r.set("variant", "sdc");
-    r.set("ands_before", original.num_ands());
-    r.set("ands_after", result.network.num_ands());
-    r.set("nodes_total", result.nodes_total);
-    r.set("nodes_resynthesized", result.nodes_resynthesized);
-    r.set("sdc_patterns", result.sdc_patterns);
-    r.set("mask_before", mask_before);
-    r.set("mask_after", mask_after);
+      std::printf("%-8s %7zu %7zu | %6zu %6zu | %7llu %8.3f %8.3f\n", name,
+                  original.num_ands(), result.network.num_ands(),
+                  result.nodes_total, result.nodes_resynthesized,
+                  static_cast<unsigned long long>(result.sdc_patterns),
+                  mask_before, mask_after);
+      obs::Record& r = report.add_row();
+      r.set("name", name);
+      r.set("variant", "sdc");
+      r.set("ands_before", original.num_ands());
+      r.set("ands_after", result.network.num_ands());
+      r.set("nodes_total", result.nodes_total);
+      r.set("nodes_resynthesized", result.nodes_resynthesized);
+      r.set("sdc_patterns", result.sdc_patterns);
+      r.set("status", "OK");
+      r.set("mask_before", mask_before);
+      r.set("mask_after", mask_after);
+    });
+    if (!status.ok()) {
+      bench::print_error_row(name, status);
+      bench::add_error_row(report, name, status);
+    }
   }
   bench::note(
       "\nmask0/mask1: fraction of injected internal errors that propagate\n"
@@ -89,32 +96,39 @@ int main(int argc, char** argv) {
   std::printf(
       "----------------------------------------------------------------------\n");
   for (const char* name : {"bench", "fout", "p3", "exp"}) {
-    const IncompleteSpec spec = make_benchmark(name);
-    const Aig original = build_network(spec);
-    OdcRenodeOptions options;
-    options.max_rewrites = 24;
-    const OdcRenodeResult result = renode_with_odcs(original, options);
-    Rng rng0(1234);
-    Rng rng1(1234);
-    const double mask_before = internal_error_rate(original, kSamples, rng0);
-    const double mask_after =
-        internal_error_rate(result.network, kSamples, rng1);
-    std::printf("%-8s %7zu %7zu | %6u %7llu %7llu | %8.3f %8.3f\n", name,
-                original.num_ands(), result.network.num_ands(),
-                result.rewrites,
-                static_cast<unsigned long long>(result.sdc_patterns),
-                static_cast<unsigned long long>(result.odc_patterns),
-                mask_before, mask_after);
-    obs::Record& r = report.add_row();
-    r.set("name", name);
-    r.set("variant", "sdc_odc");
-    r.set("ands_before", original.num_ands());
-    r.set("ands_after", result.network.num_ands());
-    r.set("rewrites", result.rewrites);
-    r.set("sdc_patterns", result.sdc_patterns);
-    r.set("odc_patterns", result.odc_patterns);
-    r.set("mask_before", mask_before);
-    r.set("mask_after", mask_after);
+    const exec::Status status = bench::run_guarded(options_cli, [&] {
+      const IncompleteSpec spec = make_benchmark(name);
+      const Aig original = build_network(spec);
+      OdcRenodeOptions options;
+      options.max_rewrites = 24;
+      const OdcRenodeResult result = renode_with_odcs(original, options);
+      Rng rng0(1234);
+      Rng rng1(1234);
+      const double mask_before = internal_error_rate(original, kSamples, rng0);
+      const double mask_after =
+          internal_error_rate(result.network, kSamples, rng1);
+      std::printf("%-8s %7zu %7zu | %6u %7llu %7llu | %8.3f %8.3f\n", name,
+                  original.num_ands(), result.network.num_ands(),
+                  result.rewrites,
+                  static_cast<unsigned long long>(result.sdc_patterns),
+                  static_cast<unsigned long long>(result.odc_patterns),
+                  mask_before, mask_after);
+      obs::Record& r = report.add_row();
+      r.set("name", name);
+      r.set("variant", "sdc_odc");
+      r.set("ands_before", original.num_ands());
+      r.set("ands_after", result.network.num_ands());
+      r.set("rewrites", result.rewrites);
+      r.set("sdc_patterns", result.sdc_patterns);
+      r.set("odc_patterns", result.odc_patterns);
+      r.set("status", "OK");
+      r.set("mask_before", mask_before);
+      r.set("mask_after", mask_after);
+    });
+    if (!status.ok()) {
+      bench::print_error_row(name, status);
+      bench::add_error_row(report, name, status);
+    }
   }
   return bench::finish(options_cli, report);
 }

@@ -33,21 +33,40 @@ int main(int argc, char** argv) {
   obs::RunReport report("second_opinion");
   double mean_full[2] = {0.0, 0.0};
   double mean_abs_ratio = 0.0;
+  std::size_t ok_circuits = 0;
   for (const IncompleteSpec& spec : bench::suite()) {
+    // Compute everything first; print and record only on success, so a
+    // failed circuit leaves no partial table line or half-filled JSON row.
+    double baseline_area[2] = {0.0, 0.0};
+    std::vector<double> norms;
+    const exec::Status status = bench::run_guarded(options_cli, [&] {
+      for (const bool resyn : {false, true}) {
+        for (const double fraction : fractions) {
+          FlowOptions options;
+          options.ranking_fraction = fraction;
+          options.resyn_recipe = resyn;
+          const FlowResult r =
+              run_flow(spec, DcPolicy::kRankingFraction, options);
+          if (fraction == 0.0) baseline_area[resyn] = r.stats.area;
+          norms.push_back(
+              bench::normalized(baseline_area[resyn], r.stats.area));
+        }
+      }
+    });
+    if (!status.ok()) {
+      bench::print_error_row(spec.name(), status);
+      bench::add_error_row(report, spec.name(), status);
+      continue;
+    }
+    ++ok_circuits;
     std::printf("%-8s |", spec.name().c_str());
     obs::Record& row = report.add_row();
     row.set("name", spec.name());
-    double baseline_area[2] = {0.0, 0.0};
+    row.set("status", "OK");
+    std::size_t at = 0;
     for (const bool resyn : {false, true}) {
       for (const double fraction : fractions) {
-        FlowOptions options;
-        options.ranking_fraction = fraction;
-        options.resyn_recipe = resyn;
-        const FlowResult r =
-            run_flow(spec, DcPolicy::kRankingFraction, options);
-        if (fraction == 0.0) baseline_area[resyn] = r.stats.area;
-        const double norm =
-            bench::normalized(baseline_area[resyn], r.stats.area);
+        const double norm = norms[at++];
         std::printf(" %6.3f", norm);
         if (fraction == 1.0) mean_full[resyn] += norm;
         char key[48];
@@ -60,7 +79,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
     mean_abs_ratio += bench::normalized(baseline_area[0], baseline_area[1]);
   }
-  const double n = static_cast<double>(bench::suite().size());
+  const double n = static_cast<double>(ok_circuits == 0 ? 1 : ok_circuits);
   std::printf("\nmean normalized area at fraction 1: direct %.3f, resyn %.3f\n",
               mean_full[0] / n, mean_full[1] / n);
   std::printf("mean resyn/direct baseline area ratio: %.3f\n",

@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
       "----------------------------------------------------------------------\n");
 
   const auto& specs = bench::suite();
-  const std::vector<Row> rows =
-      bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+  const bench::GuardedRows<Row> rows =
+      bench::guarded_rows<Row>(options, specs.size(), [&](std::size_t index) {
         const IncompleteSpec& spec = specs[index];
         const FlowResult conventional =
             run_flow(spec, DcPolicy::kConventional);
@@ -88,11 +88,17 @@ int main(int argc, char** argv) {
                    area_impr(complete), er_impr(complete)};
       });
 
-  for (const Row& row : rows)
+  for (std::size_t i = 0; i < rows.rows.size(); ++i) {
+    if (!rows.ok(i)) {
+      bench::print_error_row(specs[i].name(), rows.statuses[i]);
+      continue;
+    }
+    const Row& row = rows.rows[i];
     std::printf(
         "%-8s %2u/%-2u | %6.3f | %7.1f %7.1f | %7.1f %7.1f | %7.1f %7.1f\n",
         row.name.c_str(), row.inputs, row.outputs, row.cf, row.lc_area,
         row.lc_er, row.rk_area, row.rk_er, row.cp_area, row.cp_er);
+  }
   bench::note(
       "\nColumns: percent improvement over conventional assignment\n"
       "(negative = overhead). LC = LC^f-based (threshold 0.55), RK =\n"
@@ -103,9 +109,15 @@ int main(int argc, char** argv) {
 
   obs::RunReport report("table2");
   report.meta().set("lcf_threshold", kThreshold);
-  for (const Row& row : rows) {
+  for (std::size_t i = 0; i < rows.rows.size(); ++i) {
+    if (!rows.ok(i)) {
+      bench::add_error_row(report, specs[i].name(), rows.statuses[i]);
+      continue;
+    }
+    const Row& row = rows.rows[i];
     obs::Record& r = report.add_row();
     r.set("name", row.name);
+    r.set("status", "OK");
     r.set("inputs", row.inputs);
     r.set("outputs", row.outputs);
     r.set("cf", row.cf);

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
       "-----------------\n");
 
   const auto& specs = bench::suite();
-  const std::vector<Row> rows =
-      bench::parallel_rows<Row>(specs.size(), [&](std::size_t index) {
+  const bench::GuardedRows<Row> rows =
+      bench::guarded_rows<Row>(options, specs.size(), [&](std::size_t index) {
         const IncompleteSpec& spec = specs[index];
         Row row;
         row.name = spec.name();
@@ -70,7 +70,12 @@ int main(int argc, char** argv) {
 
   double conv_diff_sum = 0.0;
   double lcf_diff_sum = 0.0;
-  for (const Row& row : rows) {
+  for (std::size_t i = 0; i < rows.rows.size(); ++i) {
+    if (!rows.ok(i)) {
+      bench::print_error_row(specs[i].name(), rows.statuses[i]);
+      continue;
+    }
+    const Row& row = rows.rows[i];
     conv_diff_sum += row.conv_diff;
     lcf_diff_sum += row.lcf_diff;
     std::printf(
@@ -80,10 +85,12 @@ int main(int argc, char** argv) {
         row.signal.min, row.signal.max, row.border.min, row.border.max,
         row.conv_rate, row.conv_diff, row.lcf_rate, row.lcf_diff);
   }
-  const double count = static_cast<double>(rows.size());
+  const double count =
+      static_cast<double>(rows.rows.size() - rows.failures());
   std::printf("%-8s %6s | %6s %6s | %6s %6s | %6s %6s | %6s %7.1f | %6s %7.1f\n",
-              "Average", "", "", "", "", "", "", "", "", conv_diff_sum / count,
-              "", lcf_diff_sum / count);
+              "Average", "", "", "", "", "", "", "", "",
+              count > 0.0 ? conv_diff_sum / count : 0.0, "",
+              count > 0.0 ? lcf_diff_sum / count : 0.0);
   bench::note(
       "\nExpected shape (paper): signal-based estimates consistently\n"
       "overshoot the exact rates; border-based estimates contain the exact\n"
@@ -91,9 +98,15 @@ int main(int argc, char** argv) {
       "conventional assignment on average.");
 
   obs::RunReport report("table3");
-  for (const Row& row : rows) {
+  for (std::size_t i = 0; i < rows.rows.size(); ++i) {
+    if (!rows.ok(i)) {
+      bench::add_error_row(report, specs[i].name(), rows.statuses[i]);
+      continue;
+    }
+    const Row& row = rows.rows[i];
     obs::Record& r = report.add_row();
     r.set("name", row.name);
+    r.set("status", "OK");
     r.set("gates", row.gates);
     r.set("exact_min", row.exact.min);
     r.set("exact_max", row.exact.max);
@@ -106,7 +119,9 @@ int main(int argc, char** argv) {
     r.set("lcf_rate", row.lcf_rate);
     r.set("lcf_diff_percent", row.lcf_diff);
   }
-  report.meta().set("avg_conventional_diff_percent", conv_diff_sum / count);
-  report.meta().set("avg_lcf_diff_percent", lcf_diff_sum / count);
+  report.meta().set("avg_conventional_diff_percent",
+                    count > 0.0 ? conv_diff_sum / count : 0.0);
+  report.meta().set("avg_lcf_diff_percent",
+                    count > 0.0 ? lcf_diff_sum / count : 0.0);
   return bench::finish(options, report);
 }

@@ -1,0 +1,20 @@
+// Fuzz target for the BLIF reader (DESIGN.md §10). Any input must either
+// parse or throw a typed exception; crashes, hangs and sanitizer reports
+// are bugs. Regression corpus: fuzz/corpus/blif/.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "io/blif_reader.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)rdc::parse_blif_string(text);
+  } catch (const std::exception&) {
+    // Structured rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

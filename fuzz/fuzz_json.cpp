@@ -1,0 +1,17 @@
+// Fuzz target for the observability JSON parser (DESIGN.md §10). parse_json
+// reports errors by return value, so any exception at all is a bug, as are
+// crashes (e.g. the deep-nesting stack overflow the depth cap guards
+// against). Regression corpus: fuzz/corpus/json/.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  (void)rdc::obs::parse_json(text, &error);
+  return 0;
+}

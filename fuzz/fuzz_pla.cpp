@@ -1,0 +1,20 @@
+// Fuzz target for the PLA parser (DESIGN.md §10). Any input must either
+// parse or throw a typed exception; crashes, hangs and sanitizer reports
+// are bugs. Regression corpus: fuzz/corpus/pla/.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "pla/pla_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)rdc::parse_pla_string(text, "fuzz");
+  } catch (const std::exception&) {
+    // Structured rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Replay driver for toolchains without libFuzzer (the default gcc build):
+// runs LLVMFuzzerTestOneInput over every file argument, so the checked-in
+// corpus doubles as a regression suite. scripts/check.sh detects which
+// driver a fuzz binary carries via `-help=1` and picks the matching mode.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // ignore libFuzzer flags
+    std::ifstream in(arg, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      return 1;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %zu corpus file(s)\n", replayed);
+  return 0;
+}

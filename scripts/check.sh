@@ -2,7 +2,11 @@
 # Local CI: the tier-1 configure/build/ctest line from ROADMAP.md, followed
 # by an ASan+UBSan build of the unit tests to catch memory and UB bugs the
 # release build hides (the word-parallel kernels and the thread pool are
-# exactly the kind of code sanitizers pay off on).
+# exactly the kind of code sanitizers pay off on), a fuzz-corpus replay of
+# the four parser fuzz targets, and the §10 fault-injection smoke: a
+# bench_table1 run over a circuit list containing a malformed BLIF and a
+# deadline-busting circuit, plus an RDC_FAULT espresso failure — both must
+# complete with error rows, not abort.
 #
 # Usage: scripts/check.sh [--no-sanitizers]
 set -euo pipefail
@@ -16,7 +20,7 @@ if [[ "${1:-}" == "--no-sanitizers" ]]; then
 fi
 
 echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
+cmake -B build -S . -DRDC_ENABLE_FUZZERS=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
@@ -35,14 +39,111 @@ grep -q "rdc::obs" "$smoke_dir/summary.txt" || {
   exit 1
 }
 
+# Replays every corpus file through a fuzz binary; with libFuzzer (clang)
+# also runs a short time-boxed fuzzing session per target.
+run_fuzzers() {
+  local build_dir="$1"
+  local target
+  for target in pla blif aiger json; do
+    local bin="$build_dir/fuzz/fuzz_$target"
+    local corpus="fuzz/corpus/$target"
+    [[ -x "$bin" ]] || { echo "missing fuzz binary $bin" >&2; return 1; }
+    if "$bin" -help=1 2>/dev/null | grep -q libFuzzer; then
+      # Real libFuzzer: replay the corpus, then fuzz for 30 s.
+      "$bin" -runs=0 "$corpus" > /dev/null 2>&1
+      "$bin" -max_total_time=30 "$corpus" > /dev/null 2>&1
+    else
+      "$bin" "$corpus"/* > /dev/null
+    fi
+  done
+}
+
+echo
+echo "== fuzz corpus replay (release build) =="
+run_fuzzers build
+
+echo
+echo "== §10 fault-isolation smoke =="
+# Run A: one healthy circuit, one malformed BLIF, one circuit engineered to
+# blow a per-circuit deadline. The harness must finish with one row each:
+# OK, PARSE_ERROR, DEADLINE_EXCEEDED.
+cat > "$smoke_dir/tiny.pla" <<'EOF'
+.i 2
+.o 1
+11 1
+.e
+EOF
+cat > "$smoke_dir/broken.blif" <<'EOF'
+.model broken
+.inputs a a
+.outputs y
+.names a y
+1 1
+.end
+EOF
+python3 - "$smoke_dir/slow.pla" <<'EOF'
+# 16-input PLA with a dense pseudo-random on/dc structure: ESPRESSO takes
+# well over the smoke deadline on it, deterministically.
+import sys
+path = sys.argv[1]
+n = 16
+with open(path, "w") as f:
+    f.write(f".i {n}\n.o 1\n.type fd\n")
+    state = 0x9E3779B97F4A7C15
+    for m in range(0, 1 << n, 3):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        bits = format(m, f"0{n}b")
+        f.write(bits + (" 1\n" if state & 2 else " -\n"))
+    f.write(".e\n")
+EOF
+cat > "$smoke_dir/circuits.txt" <<EOF
+$smoke_dir/tiny.pla
+$smoke_dir/broken.blif
+$smoke_dir/slow.pla
+EOF
+./build/bench/bench_table1 --circuits "$smoke_dir/circuits.txt" \
+  --deadline-ms 150 --json "$smoke_dir/faults.json" > "$smoke_dir/faults.txt"
+for expect in '"status": "OK"' '"status": "PARSE_ERROR"' \
+              '"status": "DEADLINE_EXCEEDED"'; do
+  grep -qF "$expect" "$smoke_dir/faults.json" || {
+    echo "fault smoke: missing $expect in report" >&2
+    cat "$smoke_dir/faults.txt" >&2
+    exit 1
+  }
+done
+
+# Run B: deterministic fault injection. Two healthy single-output circuits,
+# RDC_FAULT=espresso:2 under one thread: circuit 1 minimizes fine, circuit
+# 2's espresso call is the second hit and faults — one OK row, one
+# FAULT_INJECTED row, run completes.
+cp "$smoke_dir/tiny.pla" "$smoke_dir/tiny2.pla"
+cat > "$smoke_dir/circuits2.txt" <<EOF
+$smoke_dir/tiny.pla
+$smoke_dir/tiny2.pla
+EOF
+RDC_THREADS=1 RDC_FAULT=espresso:2 \
+  ./build/bench/bench_table1 --circuits "$smoke_dir/circuits2.txt" \
+  --json "$smoke_dir/faults2.json" > /dev/null
+grep -qF '"status": "OK"' "$smoke_dir/faults2.json" || {
+  echo "fault smoke B: missing OK row" >&2; exit 1
+}
+grep -qF '"status": "FAULT_INJECTED"' "$smoke_dir/faults2.json" || {
+  echo "fault smoke B: missing FAULT_INJECTED row" >&2; exit 1
+}
+
 if [[ "$run_sanitizers" == "1" ]]; then
   echo
   echo "== ASan+UBSan build of the unit tests =="
   cmake -B build-asan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRDC_ENABLE_FUZZERS=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
-  cmake --build build-asan -j --target rdcsyn_tests
+  cmake --build build-asan -j --target rdcsyn_tests \
+    fuzz_pla fuzz_blif fuzz_aiger fuzz_json
   (cd build-asan && ctest --output-on-failure -j)
+  echo
+  echo "== fuzz corpus replay (ASan+UBSan build) =="
+  run_fuzzers build-asan
 fi
 
 echo

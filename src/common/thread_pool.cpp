@@ -9,6 +9,8 @@
 #include <string>
 #include <thread>
 
+#include "exec/budget.hpp"
+#include "exec/status.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -21,7 +23,10 @@ thread_local bool tls_in_parallel_region = false;
 
 void run_inline(std::uint64_t begin, std::uint64_t end,
                 const std::function<void(std::uint64_t)>& fn) {
-  for (std::uint64_t i = begin; i < end; ++i) fn(i);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    exec::checkpoint();  // serial path: budget trip stops before index i
+    fn(i);
+  }
 }
 
 /// One parallel_for invocation. Workers each hold their own shared_ptr, so
@@ -30,18 +35,31 @@ void run_inline(std::uint64_t begin, std::uint64_t end,
 struct Job {
   std::uint64_t end = 0;
   const std::function<void(std::uint64_t)>* fn = nullptr;
+  exec::ExecBudget* budget = nullptr;  ///< submitter's budget, or null
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> pending{0};
+  /// Set on the first throw or budget trip; claimed indices finish, but no
+  /// new index starts once this is observed.
+  std::atomic<bool> stop{false};
 
   std::mutex done_mutex;
   std::condition_variable done;
   std::exception_ptr first_error;
+  std::uint64_t first_error_index = UINT64_MAX;
+  bool budget_stopped = false;
 
-  /// Pulls indices until the job is exhausted. The owning parallel_for
-  /// call outlives every index (it waits on `pending`), so `*fn` stays
-  /// valid for the whole loop.
+  /// Pulls indices until the job is exhausted or stopped. The owning
+  /// parallel_for call outlives every index (it waits on `pending`), so
+  /// `*fn` stays valid for the whole loop.
+  ///
+  /// Determinism of the propagated exception: `next.fetch_add` hands out
+  /// indices in increasing order, so when index j throws and raises `stop`,
+  /// every index i < j was already claimed — it runs to completion and, if
+  /// it throws too, records under `i < first_error_index`. The lowest
+  /// throwing index therefore always wins, at any thread count.
   void work() {
     tls_in_parallel_region = true;
+    exec::BudgetScope scope(budget);  // propagate the submitter's budget
     // Busy time is attributed to the executing thread's counter shard, so
     // the summary's pool-utilization table shows per-worker load.
     const bool timed = obs::counters_enabled();
@@ -50,12 +68,37 @@ struct Job {
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) break;
-      ++executed;
-      try {
-        (*fn)(i);
-      } catch (...) {
+      bool run = !stop.load(std::memory_order_acquire);
+      if (!run) {
+        // Claimed before the stop raced in: indices below the recorded
+        // error still run (they may hold the true lowest error, keeping
+        // the propagated exception deterministic); budget trips and
+        // indices above the error stay cancelled.
         std::lock_guard<std::mutex> lock(done_mutex);
-        if (!first_error) first_error = std::current_exception();
+        run = !budget_stopped && i < first_error_index;
+      }
+      if (run && budget != nullptr && !budget->check().ok()) {
+        {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          budget_stopped = true;
+        }
+        stop.store(true, std::memory_order_release);
+        run = false;
+      }
+      if (run) {
+        ++executed;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            if (i < first_error_index) {
+              first_error_index = i;
+              first_error = std::current_exception();
+            }
+          }
+          stop.store(true, std::memory_order_release);
+        }
       }
       if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mutex);
@@ -145,6 +188,7 @@ void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
   auto job = std::make_shared<Job>();
   job->end = end;
   job->fn = &fn;
+  job->budget = exec::current_budget();
   job->next.store(begin, std::memory_order_relaxed);
   job->pending.store(end - begin, std::memory_order_relaxed);
   {
@@ -159,6 +203,9 @@ void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
     return job->pending.load(std::memory_order_acquire) == 0;
   });
   if (job->first_error) std::rethrow_exception(job->first_error);
+  if (job->budget_stopped)
+    throw exec::StatusError(
+        job->budget->check().with_context("parallel_for"));
 }
 
 ThreadPool& ThreadPool::global() {

@@ -12,8 +12,9 @@
 // RDC_THREADS=1 debugging behave exactly like the serial code. Nested
 // parallel_for calls (a flow inside an already-parallel harness loop) also
 // run inline on the calling worker rather than deadlocking on pool slots.
-// Exception propagation and nested deadlock-freedom are covered by
-// tests/test_obs.cpp (ThreadPool suite).
+// Exception propagation (deterministic lowest-index, stop-on-throw), budget
+// propagation to workers, and nested deadlock-freedom are covered by
+// tests/test_common.cpp and tests/test_exec.cpp (ThreadPool suites).
 //
 // Observability: parallel_for feeds the rdc::obs counters (pool.jobs,
 // pool.tasks, per-worker pool.busy_ns) and emits a "pool.parallel_for"
@@ -40,9 +41,21 @@ class ThreadPool {
   unsigned num_threads() const { return num_threads_; }
 
   /// Invokes fn(i) for every i in [begin, end), distributing indices across
-  /// the pool; blocks until every index has completed. The first exception
-  /// thrown by any fn is rethrown on the calling thread (remaining indices
-  /// still run). Calls from inside a worker run inline.
+  /// the pool; blocks until every started index has completed.
+  ///
+  /// Fault semantics (DESIGN.md §10): after any fn throws, no further
+  /// indices are started — already-claimed indices finish, unclaimed ones
+  /// are dropped — and the exception from the *lowest* throwing index is
+  /// rethrown on the calling thread, deterministically at any thread count
+  /// (indices are claimed in order, so every index below a throwing one has
+  /// started and gets to record its own error first if it throws too).
+  ///
+  /// Budget semantics: the submitting thread's exec::current_budget() is
+  /// re-installed on every worker for the duration of the job, so a
+  /// deadline or cancellation bounds the whole fan-out. Once the budget
+  /// trips, remaining indices are dropped and the trip is rethrown as
+  /// StatusError. Calls from inside a worker run inline (with a
+  /// per-index checkpoint).
   void parallel_for(std::uint64_t begin, std::uint64_t end,
                     const std::function<void(std::uint64_t)>& fn);
 

@@ -6,6 +6,8 @@
 #include "espresso/expand.hpp"
 #include "espresso/irredundant.hpp"
 #include "espresso/reduce.hpp"
+#include "exec/budget.hpp"
+#include "exec/fault.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -27,42 +29,67 @@ Cost cost_of(const Cover& cover) {
 
 }  // namespace
 
-Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
-               const EspressoOptions& options) {
+EspressoResult espresso_bounded(const Cover& on, const Cover& dc,
+                                const Cover& off,
+                                const EspressoOptions& options) {
   RDC_SPAN("espresso.run");
   obs::count(obs::Counter::kEspressoCalls);
+  exec::fault_point("espresso");
+  EspressoResult result;
   Cover current = on;
   current.remove_single_cube_contained();
   if (current.empty_cover()) {
     obs::observe(obs::Histo::kEspressoIterations, 0);
-    return current;
+    result.cover = current;
+    return result;
   }
-
-  current = expand(current, off);
-  current = irredundant(current, dc);
-  Cost best = cost_of(current);
-  Cover best_cover = current;
+  // From here on `result.cover` is only ever replaced by a *completed*
+  // pass's cover, so a mid-pass budget trip salvages a valid (if less
+  // minimized) cover of the on-set.
+  result.cover = current;
 
   unsigned iterations = 0;
-  for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
-    ++iterations;
-    current = reduce(current, dc);
+  try {
+    exec::checkpoint();
     current = expand(current, off);
     current = irredundant(current, dc);
-    const Cost c = cost_of(current);
-    if (c < best) {
-      best = c;
-      best_cover = current;
-    } else {
-      break;  // converged (or oscillating): keep the best seen
+    Cost best = cost_of(current);
+    result.cover = current;
+
+    for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+      exec::checkpoint();
+      ++iterations;
+      current = reduce(current, dc);
+      current = expand(current, off);
+      current = irredundant(current, dc);
+      const Cost c = cost_of(current);
+      if (c < best) {
+        best = c;
+        result.cover = current;
+      } else {
+        break;  // converged (or oscillating): keep the best seen
+      }
     }
+  } catch (const exec::StatusError& error) {
+    if (!exec::is_budget_code(error.status().code())) throw;
+    result.status = error.status();
+    result.status.with_context("espresso");
+    result.partial = true;
   }
   obs::count(obs::Counter::kEspressoIterations, iterations);
   obs::observe(obs::Histo::kEspressoIterations, iterations);
-  return best_cover;
+  return result;
 }
 
-Cover minimize(const TernaryTruthTable& f, const EspressoOptions& options) {
+Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
+               const EspressoOptions& options) {
+  EspressoResult result = espresso_bounded(on, dc, off, options);
+  if (result.partial) throw exec::StatusError(std::move(result.status));
+  return std::move(result.cover);
+}
+
+EspressoResult minimize_bounded(const TernaryTruthTable& f,
+                                const EspressoOptions& options) {
   const Cover on = Cover::from_phase(f, Phase::kOne);
   const Cover dc = Cover::from_phase(f, Phase::kDc);
 
@@ -72,7 +99,13 @@ Cover minimize(const TernaryTruthTable& f, const EspressoOptions& options) {
   for (const Cube& c : dc.cubes()) on_dc.add(c);
   const Cover off = complement(on_dc);
 
-  return espresso(on, dc, off, options);
+  return espresso_bounded(on, dc, off, options);
+}
+
+Cover minimize(const TernaryTruthTable& f, const EspressoOptions& options) {
+  EspressoResult result = minimize_bounded(f, options);
+  if (result.partial) throw exec::StatusError(std::move(result.status));
+  return std::move(result.cover);
 }
 
 std::size_t minimal_sop_size(const TernaryTruthTable& f) {
@@ -85,8 +118,9 @@ std::size_t minimal_sop_size(const IncompleteSpec& spec) {
   return total;
 }
 
-Cover conventional_assign(TernaryTruthTable& f) {
-  const Cover cover = minimize(f);
+Cover conventional_assign(TernaryTruthTable& f,
+                          const EspressoOptions& options) {
+  const Cover cover = minimize(f, options);
   obs::count(obs::Counter::kDcConventionalAssigned, f.dc_count());
   for (std::uint32_t m : f.dc_minterms())
     f.set_phase(m, cover.covers_minterm(m) ? Phase::kOne : Phase::kZero);

@@ -7,6 +7,7 @@
 // cover happens to contain it.
 #pragma once
 
+#include "exec/status.hpp"
 #include "pla/cover.hpp"
 #include "tt/incomplete_spec.hpp"
 #include "tt/ternary_function.hpp"
@@ -15,14 +16,39 @@ namespace rdc {
 
 struct EspressoOptions {
   /// Upper bound on expand/irredundant/reduce iterations (the loop normally
-  /// converges in 2-4).
+  /// converges in 2-4). 0 keeps only the initial expand+irredundant pass —
+  /// the "heuristic" rung of the flow's degradation ladder.
   unsigned max_iterations = 12;
 };
 
+/// Outcome of a budget-aware minimization. `cover` is ALWAYS a valid cover
+/// of the on-set (worst case: the input on-set itself); when the run was cut
+/// short by a deadline/cancellation, `partial` is true and `status` carries
+/// the budget code that stopped it.
+struct EspressoResult {
+  Cover cover{0};  ///< re-sized by the minimizer to the input width
+  exec::Status status;
+  bool partial = false;
+};
+
+/// Budget-aware minimization: polls the installed exec budget between
+/// passes (and, through the pass kernels, per cube) and salvages the best
+/// complete cover seen so far instead of throwing on a budget trip.
+/// Non-budget exceptions still propagate.
+EspressoResult espresso_bounded(const Cover& on, const Cover& dc,
+                                const Cover& off,
+                                const EspressoOptions& options = {});
+
 /// Minimizes an ON cover against a DC cover and an OFF cover. `off` must be
-/// the complement of on ∪ dc.
+/// the complement of on ∪ dc. Throws StatusError if the installed exec
+/// budget trips (use espresso_bounded to get the partial cover instead).
 Cover espresso(const Cover& on, const Cover& dc, const Cover& off,
                const EspressoOptions& options = {});
+
+/// Budget-aware form of minimize(): never throws on a budget trip, returns
+/// the best valid cover found with status/partial set.
+EspressoResult minimize_bounded(const TernaryTruthTable& f,
+                                const EspressoOptions& options = {});
 
 /// Minimizes a ternary truth table (ON minterms against its DC set).
 Cover minimize(const TernaryTruthTable& f,
@@ -36,7 +62,10 @@ std::size_t minimal_sop_size(const IncompleteSpec& spec);
 
 /// Conventional (area-driven) assignment: minimize, then force every DC
 /// minterm to the value the minimized cover gives it. Returns the cover.
-Cover conventional_assign(TernaryTruthTable& f);
+/// `options` selects the minimization effort (the flow's degradation
+/// ladder passes max_iterations = 0 for its heuristic rung).
+Cover conventional_assign(TernaryTruthTable& f,
+                          const EspressoOptions& options = {});
 
 /// Applies conventional assignment to every output.
 void conventional_assign(IncompleteSpec& spec);

@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "exec/budget.hpp"
+
 namespace rdc {
 namespace {
 
@@ -56,6 +58,7 @@ class Covering {
 
   void branch(std::vector<bool>& row_done,
               std::vector<std::uint32_t>& chosen) {
+    exec::checkpoint();  // branch-and-bound can blow up; stay cancellable
     if (chosen.size() > best_size_) return;  // cardinality bound
 
     // Find the uncovered row with the fewest candidate columns.

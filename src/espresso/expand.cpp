@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "exec/budget.hpp"
+
 namespace rdc {
 namespace {
 
@@ -60,6 +62,7 @@ Cover expand(const Cover& on, const Cover& off) {
   std::vector<bool> covered(on.size(), false);
   for (std::size_t idx : order) {
     if (covered[idx]) continue;
+    exec::checkpoint();  // per-cube budget poll (DESIGN.md §10)
     const Cube prime = expand_cube(on.cube(idx), off, on);
     result.add(prime);
     for (std::size_t i = 0; i < on.size(); ++i)

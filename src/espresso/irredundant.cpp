@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "espresso/unate.hpp"
+#include "exec/budget.hpp"
 
 namespace rdc {
 
@@ -24,6 +25,7 @@ Cover irredundant(const Cover& on, const Cover& dc) {
                    });
 
   for (std::size_t candidate : order) {
+    exec::checkpoint();  // per-cube budget poll (DESIGN.md §10)
     Cover rest(n);
     for (std::size_t i = 0; i < on.size(); ++i)
       if (alive[i] && i != candidate) rest.add(on.cube(i));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "espresso/complement.hpp"
+#include "exec/budget.hpp"
 
 namespace rdc {
 
@@ -36,6 +37,7 @@ Cover reduce(const Cover& on, const Cover& dc) {
 
   std::vector<bool> dropped(cubes.size(), false);
   for (std::size_t idx : order) {
+    exec::checkpoint();  // per-cube budget poll (DESIGN.md §10)
     Cover rest(n);
     for (std::size_t i = 0; i < cubes.size(); ++i)
       if (i != idx && !dropped[i]) rest.add(cubes[i]);

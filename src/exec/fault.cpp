@@ -1,0 +1,114 @@
+#include "exec/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/status.hpp"
+
+namespace rdc::exec {
+namespace {
+
+struct FaultSite {
+  std::string name;
+  std::uint64_t trigger = 0;  // 1-based hit index that starts throwing
+  std::atomic<std::uint64_t> hits{0};
+
+  FaultSite(std::string n, std::uint64_t t) : name(std::move(n)), trigger(t) {}
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+// Sites are pointer-stable so fault_point can bump hit counters without
+// holding g_mutex for the (contended) count itself.
+std::vector<std::unique_ptr<FaultSite>>& site_table() {
+  static std::vector<std::unique_ptr<FaultSite>> table;
+  return table;
+}
+
+// Grammar: "site:N[,site:N...]". A bare "site" means trigger 1. Malformed
+// entries are ignored rather than fatal: fault injection is a test aid and
+// must never take down a production run on a typo.
+void parse_spec_locked(const std::string& spec) {
+  site_table().clear();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    std::string name = entry;
+    std::uint64_t trigger = 1;
+    const std::size_t colon = entry.rfind(':');
+    if (colon != std::string::npos) {
+      name = entry.substr(0, colon);
+      const std::string count = entry.substr(colon + 1);
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(count.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || count.empty() || parsed == 0)
+        continue;
+      trigger = parsed;
+    }
+    if (name.empty()) continue;
+    site_table().push_back(std::make_unique<FaultSite>(name, trigger));
+  }
+  g_armed.store(!site_table().empty(), std::memory_order_release);
+}
+
+std::once_flag g_env_once;
+
+void load_env_spec() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("RDC_FAULT");
+    if (spec != nullptr && *spec != '\0') {
+      std::lock_guard<std::mutex> lock(g_mutex);
+      parse_spec_locked(spec);
+    }
+  });
+}
+
+}  // namespace
+
+bool faults_armed() {
+  load_env_spec();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+void fault_point(const char* site) {
+  load_env_spec();
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  FaultSite* match = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (const auto& entry : site_table())
+      if (entry->name == site) {
+        match = entry.get();
+        break;
+      }
+  }
+  if (match == nullptr) return;
+  const std::uint64_t hit =
+      match->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit >= match->trigger)
+    throw StatusError(
+        Status(StatusCode::kFaultInjected,
+               "injected fault at '" + std::string(site) + "' (hit " +
+                   std::to_string(hit) + ")"));
+}
+
+namespace testing {
+
+void set_fault_spec(const std::string& spec) {
+  load_env_spec();  // consume the env var first so it can't overwrite us
+  std::lock_guard<std::mutex> lock(g_mutex);
+  parse_spec_locked(spec);
+}
+
+}  // namespace testing
+
+}  // namespace rdc::exec

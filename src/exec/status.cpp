@@ -1,0 +1,62 @@
+#include "exec/status.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <new>
+
+namespace rdc::exec {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFaultInjected: return "FAULT_INJECTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = status_code_name(code_);
+  if (!context_.empty() || !message_.empty()) {
+    out += ": ";
+    out += context_;  // already "frame: frame: " shaped
+    out += message_;
+  }
+  return out;
+}
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const StatusError& error) {
+    return error.status();
+  } catch (const std::bad_alloc&) {
+    return Status(StatusCode::kResourceExhausted, "allocation failed");
+  } catch (const std::filesystem::filesystem_error& error) {
+    return Status(StatusCode::kUnavailable, error.what());
+  } catch (const std::invalid_argument& error) {
+    return Status(StatusCode::kInvalidArgument, error.what());
+  } catch (const std::runtime_error& error) {
+    // The parsers signal malformed documents as runtime_error with a
+    // "<format> line N:"-shaped message; classify by known prefixes.
+    const std::string what = error.what();
+    for (const char* prefix : {"pla", "blif", "aiger"})
+      if (what.rfind(prefix, 0) == 0)
+        return Status(StatusCode::kParseError, what);
+    if (what.rfind("cannot open", 0) == 0 || what.rfind("cannot write", 0) == 0)
+      return Status(StatusCode::kUnavailable, what);
+    return Status(StatusCode::kInternal, what);
+  } catch (const std::exception& error) {
+    return Status(StatusCode::kInternal, error.what());
+  } catch (...) {
+    return Status(StatusCode::kInternal, "unknown exception");
+  }
+}
+
+}  // namespace rdc::exec

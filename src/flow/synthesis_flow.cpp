@@ -1,6 +1,8 @@
 #include "flow/synthesis_flow.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -8,6 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "decomp/renode.hpp"
 #include "espresso/espresso.hpp"
+#include "exec/fault.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "reliability/error_rate.hpp"
@@ -94,9 +97,13 @@ Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
                            CellLibrary::generic70(), /*report=*/nullptr);
 }
 
-FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
-                    const FlowOptions& options) {
-  RDC_SPAN("flow.run");
+namespace {
+
+/// One full pass of the flow pipeline at a given ESPRESSO effort. Throws
+/// on budget trips / injected faults; the ladder in run_flow catches.
+FlowResult run_pipeline(const IncompleteSpec& spec, DcPolicy policy,
+                        const FlowOptions& options,
+                        const EspressoOptions& espresso_options) {
   obs::FlowReport report;
   IncompleteSpec working = spec;
 
@@ -134,13 +141,13 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
     obs::PhaseScope phase(report, "espresso");
     ThreadPool::global().parallel_for(
         0, working.num_outputs(), [&](std::uint64_t o) {
-          covers[o] =
-              conventional_assign(working.output(static_cast<unsigned>(o)));
+          covers[o] = conventional_assign(
+              working.output(static_cast<unsigned>(o)), espresso_options);
         });
   }
 
   FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
-                    assignment, {}};
+                    assignment, {}, {}, DegradationLevel::kNone};
   const CellLibrary& lib =
       options.library ? *options.library : CellLibrary::generic70();
   result.netlist = synthesize_covers(spec.num_inputs(), covers,
@@ -169,6 +176,140 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
   report.metrics.set("error_rate", result.error_rate);
   result.report = std::move(report);
   return result;
+}
+
+/// The ladder's last functional rung: no minimization at all. Remaining
+/// DCs are forced to 0 (the paper's power-friendly default phase), covers
+/// are raw minterm lists, and the whole rung runs with the budget MASKED so
+/// it terminates even after a deadline has expired.
+FlowResult run_conventional_fallback(const IncompleteSpec& spec,
+                                     DcPolicy /*policy*/,
+                                     const FlowOptions& options) {
+  exec::BudgetScope mask(nullptr);
+  exec::fault_point("flow.conventional");
+  obs::FlowReport report;
+  IncompleteSpec working = spec;
+  {
+    obs::PhaseScope phase(report, "dc_assign");
+    for (auto& f : working.outputs())
+      for (const std::uint32_t m : f.dc_minterms())
+        f.set_phase(m, Phase::kZero);
+  }
+
+  std::vector<Cover> covers;
+  covers.reserve(working.num_outputs());
+  for (const auto& f : working.outputs())
+    covers.push_back(Cover::from_phase(f, Phase::kOne));
+
+  FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
+                    {}, {}, {}, DegradationLevel::kConventional};
+  const CellLibrary& lib =
+      options.library ? *options.library : CellLibrary::generic70();
+  // Minterm covers can be wide; factor them plainly (no resyn/extraction)
+  // so the fallback's cost stays proportional to the spec size.
+  result.netlist = synthesize_covers(spec.num_inputs(), covers,
+                                     options.objective,
+                                     /*resyn_recipe=*/false,
+                                     /*use_extraction=*/false, lib, &report);
+  {
+    obs::PhaseScope phase(report, "analyze");
+    result.stats = analyze_netlist(result.netlist, lib);
+  }
+  {
+    obs::PhaseScope phase(report, "error_rate");
+    result.error_rate = exact_error_rate(result.implementation, spec);
+  }
+  report.metrics.set("gates", result.stats.gates);
+  report.metrics.set("area", result.stats.area);
+  report.metrics.set("delay_ps", result.stats.delay_ps);
+  report.metrics.set("power_uw", result.stats.power_uw);
+  report.metrics.set("error_rate", result.error_rate);
+  result.report = std::move(report);
+  return result;
+}
+
+/// Stamps the §10 report-schema additions onto a finished result.
+void finalize(FlowResult& result, const IncompleteSpec& spec, DcPolicy policy,
+              DegradationLevel level, const exec::Status& reason) {
+  result.degradation = level;
+  obs::Record& metrics = result.report.metrics;
+  metrics.set("name", spec.name());
+  metrics.set("policy", policy_name(policy));
+  metrics.set("inputs", spec.num_inputs());
+  metrics.set("outputs", spec.num_outputs());
+  metrics.set("status", status_code_name(result.status.code()));
+  metrics.set("degradation_level", static_cast<int>(level));
+  metrics.set("degradation", degradation_level_name(level));
+  if (level != DegradationLevel::kNone && !reason.ok())
+    metrics.set("degraded_reason", reason.to_string());
+}
+
+}  // namespace
+
+const char* degradation_level_name(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNone: return "none";
+    case DegradationLevel::kHeuristic: return "heuristic";
+    case DegradationLevel::kConventional: return "conventional";
+    case DegradationLevel::kPartial: return "partial";
+  }
+  return "unknown";
+}
+
+FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
+                    const FlowOptions& options) {
+  RDC_SPAN("flow.run");
+  // Install the caller-provided budget (if any) for the whole flow; the
+  // thread pool re-installs it on every worker of the fan-out.
+  std::optional<exec::BudgetScope> scope;
+  if (options.budget != nullptr) scope.emplace(options.budget);
+
+  // Rung 0: the full-quality flow with exact-effort ESPRESSO.
+  exec::Result<FlowResult> exact = exec::capture([&] {
+    exec::fault_point("flow.exact");
+    return run_pipeline(spec, policy, options, EspressoOptions{});
+  });
+  if (exact.ok()) {
+    finalize(*exact, spec, policy, DegradationLevel::kNone, exec::Status());
+    return std::move(*exact);
+  }
+  exec::Status reason = exact.status();
+
+  // A cancellation is a request to stop, not to try harder with less
+  // effort; skip straight to the partial result.
+  if (reason.code() != exec::StatusCode::kCancelled) {
+    // Rung 1: heuristic ESPRESSO — single expand+irredundant pass.
+    exec::Result<FlowResult> heuristic = exec::capture([&] {
+      exec::fault_point("flow.heuristic");
+      EspressoOptions cheap;
+      cheap.max_iterations = 0;
+      return run_pipeline(spec, policy, options, cheap);
+    });
+    if (heuristic.ok()) {
+      finalize(*heuristic, spec, policy, DegradationLevel::kHeuristic,
+               reason);
+      return std::move(*heuristic);
+    }
+
+    // Rung 2: conventional-only assignment, budget masked.
+    exec::Result<FlowResult> fallback = exec::capture(
+        [&] { return run_conventional_fallback(spec, policy, options); });
+    if (fallback.ok()) {
+      finalize(*fallback, spec, policy, DegradationLevel::kConventional,
+               reason);
+      return std::move(*fallback);
+    }
+    reason = fallback.status();
+  }
+
+  // Partial result: no netlist, but still a well-formed FlowResult with a
+  // parseable report so harnesses can emit an error row and move on.
+  FlowResult partial{spec, Netlist(spec.num_inputs()), {}, 0.0,
+                     {}, {}, {}, DegradationLevel::kPartial};
+  partial.status = reason;
+  partial.status.with_context("flow");
+  finalize(partial, spec, policy, DegradationLevel::kPartial, reason);
+  return partial;
 }
 
 }  // namespace rdc

@@ -11,6 +11,8 @@
 
 #include <string>
 
+#include "exec/budget.hpp"
+#include "exec/status.hpp"
 #include "mapper/power.hpp"
 #include "mapper/tree_map.hpp"
 #include "obs/report.hpp"
@@ -33,6 +35,25 @@ enum class DcPolicy {
   kAllReliability,      ///< every majority-phase DC assigned (fraction = 1)
 };
 
+/// How far run_flow had to descend its graceful-degradation ladder
+/// (DESIGN.md §10). Each level trades result quality for completion:
+///   kNone          — full flow with exact-effort ESPRESSO
+///   kHeuristic     — single-pass ESPRESSO (max_iterations = 0)
+///   kConventional  — no minimization: remaining DCs forced to 0, minterm
+///                    covers, synthesized with the budget masked so this
+///                    rung always completes
+///   kPartial       — even the fallback failed (or the run was cancelled);
+///                    FlowResult carries a failure status and no netlist
+enum class DegradationLevel : std::uint8_t {
+  kNone = 0,
+  kHeuristic = 1,
+  kConventional = 2,
+  kPartial = 3,
+};
+
+/// Stable lower-case name ("none", "heuristic", ...) used in report JSON.
+const char* degradation_level_name(DegradationLevel level);
+
 struct FlowOptions {
   OptimizeFor objective = OptimizeFor::kPower;
   double ranking_fraction = 0.5;  ///< for kRankingFraction / kRankingIncremental
@@ -49,6 +70,11 @@ struct FlowOptions {
   /// Share common kernels across outputs before factoring (GKX-lite);
   /// functionally neutral, typically saves area on multi-output specs.
   bool use_extraction = false;
+  /// Deadline/cancellation budget for this flow (not owned). Installed for
+  /// the duration of run_flow and propagated to its worker threads; a trip
+  /// makes the flow descend the degradation ladder instead of throwing.
+  /// Null inherits whatever budget the calling thread already has.
+  exec::ExecBudget* budget = nullptr;
 };
 
 struct FlowResult {
@@ -59,11 +85,21 @@ struct FlowResult {
   AssignmentResult assignment;    ///< what the reliability pass did
   /// Per-phase wall times plus the deterministic result metrics (policy,
   /// DC statistics, AIG size, mapped area/delay/power, error rate).
-  /// Always filled; span emission follows RDC_TRACE.
+  /// Always filled; span emission follows RDC_TRACE. Carries "status",
+  /// "degradation_level"/"degradation" and (when degraded) a
+  /// "degraded_reason" metric — the report-schema additions of §10.
   obs::FlowReport report;
+  /// OK whenever a netlist was produced (possibly degraded); the terminal
+  /// failure when degradation == kPartial.
+  exec::Status status;
+  /// Which ladder rung produced the result (kNone = full-quality flow).
+  DegradationLevel degradation = DegradationLevel::kNone;
 };
 
-/// Runs the full flow on a specification.
+/// Runs the full flow on a specification. No-throw by design: budget trips,
+/// injected faults and internal errors make it descend the ladder
+/// documented on DegradationLevel; the worst case is a kPartial result
+/// whose FlowResult::status carries the terminal failure.
 FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
                     const FlowOptions& options = {});
 

@@ -32,15 +32,43 @@ std::string to_aiger(const Aig& aig) {
   return out.str();
 }
 
+namespace {
+
+/// All header counts and literals are parsed through this checked reader:
+/// a stream extraction into an unsigned type silently wraps "-5" into a
+/// huge value, which previously turned a hostile header into a
+/// multi-gigabyte allocation. Rejecting negatives and enforcing per-field
+/// caps keeps a malformed document a parse error, never an OOM.
+std::uint64_t read_count(std::istream& in, const char* what,
+                         std::uint64_t max) {
+  long long value = 0;
+  if (!(in >> value))
+    throw std::runtime_error(std::string("aiger: malformed ") + what);
+  if (value < 0)
+    throw std::runtime_error(std::string("aiger: negative ") + what);
+  if (static_cast<std::uint64_t>(value) > max)
+    throw std::runtime_error(std::string("aiger: ") + what +
+                             " exceeds limit of " + std::to_string(max));
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Caps sized so the literal map stays a few tens of MB at worst.
+constexpr std::uint64_t kMaxAigerVars = 1ull << 22;
+constexpr std::uint64_t kMaxAigerOutputs = 1ull << 20;
+
+}  // namespace
+
 Aig parse_aiger(std::istream& in) {
   std::string magic;
-  std::size_t max_var = 0, num_inputs = 0, num_latches = 0, num_outputs = 0,
-              num_ands = 0;
-  if (!(in >> magic >> max_var >> num_inputs >> num_latches >> num_outputs >>
-        num_ands))
-    throw std::runtime_error("aiger: malformed header");
+  if (!(in >> magic)) throw std::runtime_error("aiger: malformed header");
   if (magic != "aag")
     throw std::runtime_error("aiger: expected ascii 'aag', got " + magic);
+  const std::uint64_t max_var = read_count(in, "max var", kMaxAigerVars);
+  const std::uint64_t num_inputs = read_count(in, "input count", max_var);
+  const std::uint64_t num_latches = read_count(in, "latch count", max_var);
+  const std::uint64_t num_outputs =
+      read_count(in, "output count", kMaxAigerOutputs);
+  const std::uint64_t num_ands = read_count(in, "and count", max_var);
   if (num_latches != 0)
     throw std::runtime_error("aiger: latches are not supported");
   if (max_var + 1 < 1 + num_inputs + num_ands)
@@ -48,16 +76,17 @@ Aig parse_aiger(std::istream& in) {
 
   Aig aig(static_cast<unsigned>(num_inputs));
 
+  const std::uint64_t max_literal = 2 * max_var + 1;
   for (std::size_t i = 0; i < num_inputs; ++i) {
-    std::uint32_t lit = 0;
-    if (!(in >> lit)) throw std::runtime_error("aiger: missing input line");
+    const std::uint64_t lit = read_count(in, "input literal", max_literal);
     if (lit != 2 * (i + 1))
       throw std::runtime_error("aiger: non-contiguous input literals");
   }
 
   std::vector<std::uint32_t> output_lits(num_outputs);
   for (auto& lit : output_lits)
-    if (!(in >> lit)) throw std::runtime_error("aiger: missing output line");
+    lit = static_cast<std::uint32_t>(
+        read_count(in, "output literal", max_literal));
 
   // Old literal -> rebuilt literal. Strashing may fold redundant rows, so
   // references go through the map rather than assuming stable numbering.
@@ -78,9 +107,12 @@ Aig parse_aiger(std::istream& in) {
   };
 
   for (std::size_t a = 0; a < num_ands; ++a) {
-    std::uint32_t lhs = 0, rhs0 = 0, rhs1 = 0;
-    if (!(in >> lhs >> rhs0 >> rhs1))
-      throw std::runtime_error("aiger: missing and line");
+    const auto lhs = static_cast<std::uint32_t>(
+        read_count(in, "and literal", max_literal));
+    const auto rhs0 = static_cast<std::uint32_t>(
+        read_count(in, "and literal", max_literal));
+    const auto rhs1 = static_cast<std::uint32_t>(
+        read_count(in, "and literal", max_literal));
     if (lhs % 2 != 0 || lhs <= rhs0 || rhs0 < rhs1)
       throw std::runtime_error("aiger: invalid and-gate ordering");
     const std::uint32_t lit = aig.make_and(mapped(rhs0), mapped(rhs1));

@@ -64,6 +64,11 @@ class BlifBuilder {
     for (auto& t : tables) {
       if (table_index_.count(t.output))
         fail(t.line, "signal '" + t.output + "' defined twice");
+      // build_signal resolves inputs first, so a table for an input name
+      // would silently be dead logic; reject the shadowing instead.
+      if (input_index_.count(t.output))
+        fail(t.line,
+             ".names redefines primary input '" + t.output + "'");
       table_index_[t.output] = tables_.size();
       tables_.push_back(std::move(t));
     }
@@ -115,7 +120,11 @@ class BlifBuilder {
       if (k == 0) continue;
       if (cube_text.size() != k)
         fail(table.line, ".names row width mismatch");
-      cover.add(Cube::parse(cube_text));
+      try {
+        cover.add(Cube::parse(cube_text));
+      } catch (const std::invalid_argument& e) {
+        fail(table.line, e.what());  // attach the line to the cube error
+      }
     }
 
     if (k == 0) return phase == 1 ? aiglit::kTrue : aiglit::kFalse;
@@ -155,7 +164,12 @@ BlifModel parse_blif(std::istream& in) {
       open_table = -1;
     } else if (tok == ".inputs") {
       std::string name;
-      while (ls >> name) model.input_names.push_back(name);
+      while (ls >> name) {
+        for (const std::string& existing : model.input_names)
+          if (existing == name)
+            fail(line_no, "duplicate input '" + name + "'");
+        model.input_names.push_back(name);
+      }
       open_table = -1;
     } else if (tok == ".outputs") {
       std::string name;

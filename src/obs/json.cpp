@@ -200,12 +200,17 @@ class Parser {
     return true;
   }
 
+  /// Containers recurse through parse_value; without a depth cap a
+  /// few-KB document of nothing but '[' overflows the stack (found by the
+  /// fuzz harness). 128 is far deeper than any report this code emits.
+  static constexpr unsigned kMaxDepth = 128;
+
   bool parse_value(JsonValue& out) {
     skip_whitespace();
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
+      case '{': return parse_container(out, &Parser::parse_object);
+      case '[': return parse_container(out, &Parser::parse_array);
       case '"':
         out.kind = JsonValue::Kind::kString;
         return parse_string(out.string);
@@ -222,6 +227,14 @@ class Parser {
         return consume_literal("null");
       default: return parse_number(out);
     }
+  }
+
+  bool parse_container(JsonValue& out, bool (Parser::*inner)(JsonValue&)) {
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
+    ++depth_;
+    const bool ok = (this->*inner)(out);
+    --depth_;
+    return ok;
   }
 
   bool parse_object(JsonValue& out) {
@@ -337,6 +350,7 @@ class Parser {
   std::string_view text_;
   std::size_t pos_ = 0;
   std::string message_;
+  unsigned depth_ = 0;
 };
 
 }  // namespace

@@ -36,6 +36,11 @@ struct RawPla {
   std::vector<std::vector<Cube>> on, off, dc;
 };
 
+/// Each output costs three 2^n-minterm bitsets downstream; this cap keeps a
+/// hostile ".o 4000000000" header a parse error instead of an allocation
+/// bomb while staying far above any real benchmark (Table 1 tops out at 8).
+constexpr unsigned kMaxPlaOutputs = 256;
+
 RawPla read_raw(std::istream& in) {
   RawPla pla;
   bool sized = false;
@@ -51,12 +56,19 @@ RawPla read_raw(std::istream& in) {
     if (!(ls >> tok)) continue;
 
     if (tok == ".i") {
+      // Once cube rows were parsed against one geometry, changing it would
+      // silently misalign every row already read.
+      if (sized) fail(line_no, ".i after cube rows");
       if (!(ls >> pla.num_inputs)) fail(line_no, "missing .i value");
       if (pla.num_inputs == 0 || pla.num_inputs > TernaryTruthTable::kMaxInputs)
         fail(line_no, ".i out of supported range [1,20]");
     } else if (tok == ".o") {
+      if (sized) fail(line_no, ".o after cube rows");
       if (!(ls >> pla.num_outputs)) fail(line_no, "missing .o value");
       if (pla.num_outputs == 0) fail(line_no, ".o must be positive");
+      if (pla.num_outputs > kMaxPlaOutputs)
+        fail(line_no, ".o exceeds limit of " +
+                          std::to_string(kMaxPlaOutputs));
     } else if (tok == ".type") {
       std::string t;
       if (!(ls >> t)) fail(line_no, "missing .type value");

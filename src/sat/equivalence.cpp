@@ -37,8 +37,15 @@ EquivalenceResult run_miter(const Aig& a, const Aig& b, unsigned first_output,
   solver.add_clause(any_diff);
 
   EquivalenceResult result;
-  if (solver.solve() == sat::SolveResult::kUnsat) {
+  const sat::SolveResult outcome = solver.solve();
+  if (outcome == sat::SolveResult::kUnsat) {
     result.equivalent = true;
+    return result;
+  }
+  if (outcome == sat::SolveResult::kUnknown) {
+    result.equivalent = false;  // fail safe: undecided is not a pass
+    result.status = solver.last_status();
+    result.status.with_context("equivalence");
     return result;
   }
   result.equivalent = false;

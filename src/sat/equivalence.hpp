@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "aig/aig.hpp"
+#include "exec/status.hpp"
 
 namespace rdc {
 
@@ -19,6 +20,10 @@ struct EquivalenceResult {
   std::uint32_t counterexample = 0;
   /// Output index that differs on the counterexample.
   unsigned failing_output = 0;
+  /// OK for a decided query. When the exec budget cut the solve short the
+  /// query is UNDECIDED: equivalent stays false (fail safe — callers must
+  /// not certify a pass on a timed-out check) and this carries the code.
+  exec::Status status;
 };
 
 /// Checks that two AIGs with identical interfaces compute the same outputs.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/fault.hpp"
+
 namespace rdc::sat {
 
 unsigned Solver::new_var() {
@@ -74,6 +76,13 @@ void Solver::enqueue(Lit l, std::int32_t reason) {
 
 std::int32_t Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
+    // Budget poll every ~8192 trail steps: cheap enough to disappear in the
+    // propagation cost, frequent enough to observe a deadline promptly.
+    if (active_budget_ != nullptr && (++budget_steps_ & 8191u) == 0u &&
+        !active_budget_->check().ok()) {
+      budget_tripped_ = true;
+      return -1;  // solve() notices budget_tripped_ before trusting this
+    }
     const Lit p = trail_[propagate_head_++];
     // Clauses watching ~p must find a new watch or propagate/conflict.
     std::vector<Watch>& watch_list = watches_[p.code()];
@@ -202,23 +211,45 @@ unsigned Solver::pick_branch_var() {
 }
 
 SolveResult Solver::solve() {
+  exec::fault_point("sat");
+  last_status_ = exec::Status();
   if (unsat_) return SolveResult::kUnsat;
+
+  active_budget_ = budget_ != nullptr ? budget_ : exec::current_budget();
+  budget_tripped_ = false;
+  // Returns kUnknown with the (sticky) trip code, leaving the solver at
+  // level 0 so callers can relax the budget and retry.
+  const auto give_up = [&] {
+    exec::Status status = active_budget_->check();
+    status.with_context("sat");
+    last_status_ = std::move(status);
+    backtrack_to(0);
+    active_budget_ = nullptr;
+    return SolveResult::kUnknown;
+  };
+  if (active_budget_ != nullptr && !active_budget_->check_now().ok())
+    return give_up();
+
   backtrack_to(0);
-  if (propagate() >= 0) {
+  if (propagate() >= 0 && !budget_tripped_) {
     unsat_ = true;
+    active_budget_ = nullptr;
     return SolveResult::kUnsat;
   }
+  if (budget_tripped_) return give_up();
 
   std::uint64_t restart_limit = 100;
   std::uint64_t conflicts_since_restart = 0;
 
   while (true) {
     const std::int32_t conflict = propagate();
+    if (budget_tripped_) return give_up();
     if (conflict >= 0) {
       ++conflicts_;
       ++conflicts_since_restart;
       if (trail_limits_.empty()) {
         unsat_ = true;
+        active_budget_ = nullptr;
         return SolveResult::kUnsat;
       }
       Clause learnt;
@@ -229,6 +260,7 @@ SolveResult Solver::solve() {
         backtrack_to(0);
         if (value_of(learnt[0]) == Value::kFalse) {
           unsat_ = true;
+          active_budget_ = nullptr;
           return SolveResult::kUnsat;
         }
         if (value_of(learnt[0]) == Value::kUnassigned)
@@ -253,6 +285,7 @@ SolveResult Solver::solve() {
       for (unsigned v = 0; v < num_vars(); ++v)
         model_[v] = assign_[v] == Value::kTrue;
       backtrack_to(0);
+      active_budget_ = nullptr;
       return SolveResult::kSat;
     }
     ++decisions_;

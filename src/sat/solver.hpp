@@ -10,6 +10,9 @@
 #include <optional>
 #include <vector>
 
+#include "exec/budget.hpp"
+#include "exec/status.hpp"
+
 namespace rdc::sat {
 
 /// A literal: variable index (0-based) with sign. Encoded as 2*var + neg.
@@ -35,7 +38,10 @@ class Lit {
 
 using Clause = std::vector<Lit>;
 
-enum class SolveResult { kSat, kUnsat };
+/// kUnknown means the solve was cut short by an exec budget (deadline,
+/// cancellation, iteration cap) — the instance's satisfiability is
+/// undecided and Solver::last_status() carries the trip code.
+enum class SolveResult { kSat, kUnsat, kUnknown };
 
 class Solver {
  public:
@@ -50,7 +56,19 @@ class Solver {
   /// Decides satisfiability of the clause set. May be called repeatedly
   /// (clauses can be added between calls); assumptions are expressed by
   /// adding unit clauses or by using one solver per query.
+  ///
+  /// Budget-aware: polls `set_budget()`'s budget (falling back to the
+  /// thread's exec::current_budget()) roughly every 8192 propagation steps.
+  /// On a trip the solver backtracks to level 0 — keeping itself reusable —
+  /// and returns kUnknown with the trip code in last_status(); it never
+  /// throws and never hangs past a deadline.
   SolveResult solve();
+
+  /// Explicit budget for this solver, overriding the thread-local one.
+  void set_budget(exec::ExecBudget* budget) { budget_ = budget; }
+
+  /// OK after kSat/kUnsat; the budget trip code after kUnknown.
+  const exec::Status& last_status() const { return last_status_; }
 
   /// Value of a variable in the satisfying assignment (valid after kSat).
   bool model_value(unsigned var) const { return model_[var]; }
@@ -96,6 +114,12 @@ class Solver {
   bool unsat_ = false;
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;
+
+  exec::ExecBudget* budget_ = nullptr;         ///< explicit override
+  exec::ExecBudget* active_budget_ = nullptr;  ///< non-null only in solve()
+  std::uint64_t budget_steps_ = 0;
+  bool budget_tripped_ = false;
+  exec::Status last_status_;
 };
 
 }  // namespace rdc::sat

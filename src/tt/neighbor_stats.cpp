@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "common/bitvec.hpp"
+#include "exec/budget.hpp"
+#include "exec/fault.hpp"
 #include "obs/counters.hpp"
 
 namespace rdc {
@@ -113,6 +115,7 @@ NeighborTable::NeighborTable(const TernaryTruthTable& f)
       off_(new std::uint8_t[f.size()]),
       dc_(new std::uint8_t[f.size()]) {
   obs::count(obs::Counter::kNeighborTableBuilds);
+  exec::fault_point("neighbor");
   const unsigned n = num_inputs_;
   const std::uint64_t* on = f.on_bits().data();
   const std::uint64_t* dc = f.dc_bits().data();
@@ -140,6 +143,7 @@ NeighborTable::NeighborTable(const TernaryTruthTable& f)
   };
 
   for (std::size_t w = 0; w < words; ++w) {
+    exec::checkpoint();  // per-64-minterm-word budget poll (DESIGN.md §10)
     WordCounter on_counter;
     WordCounter dc_counter;
     accumulate(on_counter, on, w);

@@ -309,21 +309,42 @@ TEST(ThreadPool, PropagatesException) {
   EXPECT_EQ(ok.load(), 4);
 }
 
-TEST(ThreadPool, PropagatesExceptionMessageAndDrainsRange) {
+TEST(ThreadPool, PropagatesExceptionMessageAndStopsScheduling) {
   ThreadPool pool(4);
-  // A throwing index must not abort the others (workers keep pulling), and
-  // the caller receives the first captured exception intact.
+  // After a throw the pool stops scheduling unclaimed indices (§10
+  // fail-fast contract): everything below the throwing index still runs
+  // (those indices were claimed first), the caller receives the first
+  // error intact, and at least the already-claimed tail may run too.
   std::atomic<int> executed{0};
+  std::atomic<std::uint64_t> below_three{0};
   try {
-    pool.parallel_for(0, 64, [&](std::uint64_t i) {
+    pool.parallel_for(0, 1 << 14, [&](std::uint64_t i) {
       if (i == 3) throw std::runtime_error("index 3 failed");
       executed.fetch_add(1);
+      if (i < 3) below_three.fetch_add(1);
     });
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& error) {
     EXPECT_STREQ(error.what(), "index 3 failed");
   }
-  EXPECT_EQ(executed.load(), 63);
+  EXPECT_EQ(below_three.load(), 3u);          // lower indices always complete
+  EXPECT_LT(executed.load(), (1 << 14) - 1);  // the tail was cancelled
+}
+
+TEST(ThreadPool, LowestThrowingIndexWinsDeterministically) {
+  // Indices are claimed in increasing order, so when several indices throw
+  // the caller always sees the lowest one — at any thread count.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(8);
+    try {
+      pool.parallel_for(0, 64, [&](std::uint64_t i) {
+        if (i == 3 || i == 7) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "3");
+    }
+  }
 }
 
 TEST(ThreadPool, NestedExceptionStillPropagates) {
