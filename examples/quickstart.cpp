@@ -1,6 +1,7 @@
 // Quickstart: load an incompletely specified function, assign its don't
 // cares for reliability, synthesize, and compare against the conventional
-// (area-driven) flow.
+// (area-driven) flow — each variant expressed as a pipeline spec string
+// (flow/pipeline.hpp) instead of a hand-rolled stage sequence.
 //
 //   ./quickstart [path/to/benchmark.pla]
 //
@@ -8,7 +9,7 @@
 #include <cstdio>
 #include <string>
 
-#include "flow/synthesis_flow.hpp"
+#include "flow/pipeline.hpp"
 #include "pla/pla_io.hpp"
 #include "reliability/complexity.hpp"
 #include "reliability/error_rate.hpp"
@@ -50,30 +51,44 @@ int main(int argc, char** argv) {
   std::printf("Achievable input-error-rate range: [%.4f, %.4f]\n\n",
               bounds.min, bounds.max);
 
+  // Each flow variant is one spec string: swap the assignment pass, keep
+  // the lower half ("espresso | factor | aig | map:power | ...") shared.
   struct Row {
     const char* label;
-    DcPolicy policy;
+    const char* pipeline;
   };
+  constexpr const char* kLowerHalf =
+      " | espresso | factor | aig | map:power | analyze | error_rate";
   const Row rows[] = {
-      {"conventional (baseline)", DcPolicy::kConventional},
-      {"ranking-based, fraction 0.5", DcPolicy::kRankingFraction},
-      {"LC^f-based, threshold 0.55", DcPolicy::kLcfThreshold},
-      {"complete reliability", DcPolicy::kAllReliability},
+      {"conventional (baseline)", "assign:conventional"},
+      {"ranking-based, fraction 0.5", "assign:ranking(0.5)"},
+      {"LC^f-based, threshold 0.55", "assign:lcf(0.55)"},
+      {"complete reliability", "assign:all"},
   };
 
   std::printf("%-28s %8s %9s %9s %10s %10s\n", "DC policy", "gates", "area",
               "delay/ps", "power/uW", "error rate");
   double baseline_er = 0.0;
   for (const Row& row : rows) {
-    const FlowResult result = run_flow(spec, row.policy);
-    if (row.policy == DcPolicy::kConventional)
-      baseline_er = result.error_rate;
+    exec::Result<flow::Pipeline> pipeline =
+        flow::parse_pipeline(std::string(row.pipeline) + kLowerHalf);
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "%s\n", pipeline.status().to_string().c_str());
+      return 1;
+    }
+    flow::Design design(spec);
+    if (exec::Status status = pipeline->run(design); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+    const bool is_baseline = row.pipeline == rows[0].pipeline;
+    if (is_baseline) baseline_er = design.error_rate;
     std::printf("%-28s %8zu %9.1f %9.1f %10.2f %10.4f", row.label,
-                result.stats.gates, result.stats.area, result.stats.delay_ps,
-                result.stats.power_uw, result.error_rate);
-    if (row.policy != DcPolicy::kConventional && baseline_er > 0.0)
+                design.stats.gates, design.stats.area, design.stats.delay_ps,
+                design.stats.power_uw, design.error_rate);
+    if (!is_baseline && baseline_er > 0.0)
       std::printf("  (%+.1f%%)",
-                  (baseline_er - result.error_rate) / baseline_er * 100.0);
+                  (baseline_er - design.error_rate) / baseline_er * 100.0);
     std::printf("\n");
   }
   std::printf(

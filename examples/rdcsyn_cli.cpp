@@ -8,9 +8,16 @@
 //       downstream optimizer keeps its freedom. P is one of
 //       ranking | incremental | lcf (default ranking).
 //   rdcsyn_cli synth  <in.pla> [-o out] [--format verilog|blif|aiger]
-//              [--delay] [--resyn] [--policy P ...]
+//              [--delay] [--resyn] [--policy P ...] [--pipeline "<spec>"]
 //       Full flow: assignment, minimization, mapping; writes the mapped
 //       netlist (or the AIG for aiger) and prints the QoR report.
+//       --pipeline replaces the canonical flow with an explicit pass
+//       spec, e.g. "assign:ranking(0.5) | espresso | factor | aig |
+//       map:power | analyze | error_rate".
+//   rdcsyn_cli batch  <a.pla> <b.pla> ... --pipeline "<spec>"
+//              [--json report.json]
+//       Fans the pipeline over every circuit (RDC_THREADS) with
+//       per-circuit fault isolation and emits an aggregated JSON report.
 //
 // Without arguments, prints usage and a tiny demo.
 #include <cstdio>
@@ -18,7 +25,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "flow/pipeline.hpp"
 #include "flow/synthesis_flow.hpp"
 #include "mapper/liberty.hpp"
 #include "io/aiger.hpp"
@@ -51,7 +60,15 @@ int usage() {
       "                    [--fraction F] [--threshold T]\n"
       "  rdcsyn_cli synth  <in.pla> [-o out] [--format verilog|blif|aiger]\n"
       "                    [--delay] [--resyn] [--lib file.lib] [--tb tb.v]\n"
-      "                    [--policy ...]\n"
+      "                    [--policy ...] [--pipeline \"<spec>\"] [--json "
+      "out.json]\n"
+      "  rdcsyn_cli batch  <a.pla> <b.pla> ... --pipeline \"<spec>\"\n"
+      "                    [--json report.json]\n"
+      "      Runs the pipeline over every circuit in parallel "
+      "(RDC_THREADS);\n"
+      "      failures become error rows, not aborts. Pipeline specs look\n"
+      "      like \"assign:ranking(0.5) | espresso | factor | aig |\n"
+      "      map:power | analyze | error_rate\".\n"
       "  rdcsyn_cli renode <in.pla> [--threshold T]\n"
       "      Section-4 extension: conventional synthesis, then nodal\n"
       "      decomposition with internal-DC reassignment; reports internal\n"
@@ -63,11 +80,14 @@ int usage() {
 
 struct Args {
   std::string input;
+  std::vector<std::string> inputs;  ///< every positional file (batch)
   std::string output;
   std::string policy = "ranking";
   std::string format = "verilog";
   std::string liberty;
   std::string testbench;
+  std::string pipeline;  ///< explicit pass spec (--pipeline)
+  std::string json;      ///< report JSON destination (--json)
   double fraction = 0.5;
   double threshold = 0.55;
   bool delay = false;
@@ -92,6 +112,10 @@ bool parse_args(int argc, char** argv, int first, Args& args) {
       args.liberty = argv[++i];
     } else if (a == "--tb" && i + 1 < argc) {
       args.testbench = argv[++i];
+    } else if (a == "--pipeline" && i + 1 < argc) {
+      args.pipeline = argv[++i];
+    } else if (a == "--json" && i + 1 < argc) {
+      args.json = argv[++i];
     } else if (a == "--fraction") {
       if (!value(args.fraction)) return false;
     } else if (a == "--threshold") {
@@ -100,8 +124,9 @@ bool parse_args(int argc, char** argv, int first, Args& args) {
       args.delay = true;
     } else if (a == "--resyn") {
       args.resyn = true;
-    } else if (args.input.empty() && a[0] != '-') {
-      args.input = a;
+    } else if (a[0] != '-') {
+      if (args.input.empty()) args.input = a;
+      args.inputs.push_back(a);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
       return false;
@@ -152,7 +177,94 @@ int cmd_assign(const Args& args) {
   return 0;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text << '\n';
+  return true;
+}
+
+/// `synth --pipeline "<spec>"`: run an explicit pass sequence instead of
+/// the canonical flow and print the flow report JSON.
+int cmd_pipeline(const Args& args) {
+  exec::Result<flow::Pipeline> pipeline = flow::parse_pipeline(args.pipeline);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.status().to_string().c_str());
+    return 2;
+  }
+  const IncompleteSpec spec = load_pla(args.input);
+  FlowOptions options;
+  options.objective = args.delay ? OptimizeFor::kDelay : OptimizeFor::kPower;
+  CellLibrary custom_lib = CellLibrary::generic70();
+  if (!args.liberty.empty()) {
+    custom_lib = load_liberty(args.liberty);
+    options.library = &custom_lib;
+  }
+  flow::Design design(spec, options);
+  if (exec::Status status = pipeline->run(design); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  const std::string report = design.report.to_json();
+  if (!args.json.empty()) {
+    if (!write_text_file(args.json, report)) return 1;
+    std::printf("wrote %s\n", args.json.c_str());
+  } else {
+    std::printf("%s\n", report.c_str());
+  }
+  if (!args.output.empty()) {
+    if (!design.has(flow::Artifact::kNetlist)) {
+      std::fprintf(stderr,
+                   "-o given but the pipeline produced no netlist (add a "
+                   "map:* pass)\n");
+      return 2;
+    }
+    std::ofstream out(args.output);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.output.c_str());
+      return 1;
+    }
+    write_verilog(design.netlist(), custom_lib, spec.name(), out);
+    std::printf("wrote %s (verilog)\n", args.output.c_str());
+  }
+  return 0;
+}
+
+int cmd_batch(const Args& args) {
+  if (args.pipeline.empty()) {
+    std::fprintf(stderr, "batch: --pipeline \"<spec>\" is required\n");
+    return 2;
+  }
+  exec::Result<flow::Pipeline> pipeline = flow::parse_pipeline(args.pipeline);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.status().to_string().c_str());
+    return 2;
+  }
+  std::vector<IncompleteSpec> specs;
+  specs.reserve(args.inputs.size());
+  for (const std::string& path : args.inputs) specs.push_back(load_pla(path));
+
+  flow::BatchOptions options;
+  options.flow.objective =
+      args.delay ? OptimizeFor::kDelay : OptimizeFor::kPower;
+  const flow::BatchResult batch =
+      flow::run_pipeline_batch(*pipeline, specs, options);
+  const std::string report = batch.report.to_json();
+  if (!args.json.empty()) {
+    if (!write_text_file(args.json, report)) return 1;
+    std::printf("wrote %s (%zu circuits, %zu failures)\n", args.json.c_str(),
+                specs.size(), batch.failures);
+  } else {
+    std::printf("%s\n", report.c_str());
+  }
+  return batch.failures == 0 ? 0 : 1;
+}
+
 int cmd_synth(const Args& args) {
+  if (!args.pipeline.empty()) return cmd_pipeline(args);
   const IncompleteSpec spec = load_pla(args.input);
   DcPolicy policy = DcPolicy::kConventional;
   if (args.policy == "ranking") policy = DcPolicy::kRankingFraction;
@@ -283,6 +395,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "assign") return cmd_assign(args);
     if (command == "synth") return cmd_synth(args);
+    if (command == "batch") return cmd_batch(args);
     if (command == "renode") return cmd_renode(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,20 +1,37 @@
 // Example: a tour of the synthesis substrate, stage by stage.
 //
-// Demonstrates the individual libraries the flow is composed of — ESPRESSO
-// minimization, algebraic factoring, AIG construction and balancing, and
-// technology mapping — on one output of a generated function, printing the
-// intermediate artifacts a synthesis developer would inspect.
+// The stages — ESPRESSO minimization, algebraic factoring, AIG
+// construction and balancing, technology mapping — are driven through the
+// pass manager (flow/pass.hpp): one shared Design carries the evolving
+// artifacts, and each stage is a one-pass pipeline spec run over it, so the
+// intermediates a synthesis developer would inspect are read straight off
+// the Design between passes.
 #include <cstdio>
+#include <utility>
 
-#include "aig/aig.hpp"
-#include "aig/balance.hpp"
 #include "aig/simulate.hpp"
 #include "common/rng.hpp"
-#include "espresso/espresso.hpp"
-#include "mapper/power.hpp"
-#include "mapper/tree_map.hpp"
+#include "flow/pipeline.hpp"
 #include "sop/factor.hpp"
 #include "synthetic/generator.hpp"
+
+namespace {
+
+/// Runs a single-stage pipeline spec over the design; exits on failure.
+void run_stage(rdc::flow::Design& design, const char* spec) {
+  using namespace rdc;
+  exec::Result<flow::Pipeline> pipeline = flow::parse_pipeline(spec);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().to_string().c_str());
+    std::exit(1);
+  }
+  if (exec::Status status = pipeline->run(design); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace rdc;
@@ -26,8 +43,13 @@ int main() {
   std::printf("Stage 0  specification: %u on / %u off / %u DC minterms\n",
               f.on_count(), f.off_count(), f.dc_count());
 
+  IncompleteSpec spec("tour", f.num_inputs(), 1);
+  spec.output(0) = f;
+  flow::Design design(std::move(spec));
+
   // Stage 1: two-level minimization against the DC set.
-  const Cover cover = minimize(f);
+  run_stage(design, "espresso");
+  const Cover& cover = design.covers()[0];
   std::printf("Stage 1  ESPRESSO: %zu implicants, %llu literals\n",
               cover.size(),
               static_cast<unsigned long long>(cover.literal_count()));
@@ -38,34 +60,35 @@ int main() {
                                     cover.size() - 6);
 
   // Stage 2: algebraic factoring.
-  const FactorTree tree = factor(cover);
+  run_stage(design, "factor");
+  const FactorTree& tree = design.factors()[0];
   std::printf("Stage 2  factored form (%llu literals): %s\n",
               static_cast<unsigned long long>(factored_literal_count(tree)),
               to_string(tree).c_str());
 
-  // Stage 3: AIG + balance.
-  Aig aig(f.num_inputs());
-  aig.add_output(aig.build(tree));
-  const Aig balanced = balance(aig);
+  // Stage 3: AIG, then balance. Re-running `aig` later rebuilds from the
+  // factor trees, so keep the unbalanced depth before balancing.
+  run_stage(design, "aig");
+  const std::size_t unbalanced_ands = design.aig().num_ands();
+  const unsigned unbalanced_depth = design.aig().depth();
+  run_stage(design, "balance");
   std::printf("Stage 3  AIG: %zu AND nodes, depth %u (balanced: depth %u)\n",
-              aig.num_ands(), aig.depth(), balanced.depth());
+              unbalanced_ands, unbalanced_depth, design.aig().depth());
 
-  // Stage 4: technology mapping, both objectives.
-  const CellLibrary& lib = CellLibrary::generic70();
-  for (const auto [label, objective] :
-       {std::pair{"area ", MapObjective::kArea},
-        std::pair{"delay", MapObjective::kDelay}}) {
-    const Aig& subject =
-        objective == MapObjective::kDelay ? balanced : aig;
-    const Netlist netlist = map_aig(subject, lib, {objective});
-    const NetlistStats stats = analyze_netlist(netlist, lib);
+  // Stage 4: technology mapping, both objectives. The balanced AIG is
+  // still valid on the design, so each map pass just re-targets it.
+  for (const auto [label, map_spec] :
+       {std::pair{"area ", "map:power | analyze"},
+        std::pair{"delay", "map:delay | analyze"}}) {
+    run_stage(design, map_spec);
+    const NetlistStats& stats = design.stats;
     std::printf(
         "Stage 4  map (%s): %zu gates, area %.1f um^2, delay %.0f ps, "
         "power %.2f uW\n",
         label, stats.gates, stats.area, stats.delay_ps, stats.power_uw);
 
     // Functional sign-off: netlist vs original specification's care set.
-    const TernaryTruthTable mapped = netlist.output_table(0);
+    const TernaryTruthTable mapped = design.netlist().output_table(0);
     bool ok = true;
     for (std::uint32_t m = 0; m < f.size(); ++m)
       if (f.is_care(m) && mapped.is_on(m) != f.is_on(m)) ok = false;
@@ -73,11 +96,11 @@ int main() {
                 ok ? "PASS" : "FAIL");
   }
 
-  // Gate inventory of the area-mapped netlist.
-  const Netlist netlist = map_aig(aig, lib, {MapObjective::kArea});
+  // Gate inventory of the last (delay-) mapped netlist.
+  const CellLibrary& lib = design.library();
   std::printf("Stage 5  cell inventory:");
   std::size_t counts[32] = {};
-  for (const Gate& g : netlist.gates())
+  for (const Gate& g : design.netlist().gates())
     ++counts[static_cast<std::size_t>(g.kind)];
   for (const Cell& cell : lib.cells())
     if (counts[static_cast<std::size_t>(cell.kind)] > 0)

@@ -1,0 +1,27 @@
+// Fuzz target for the pipeline-spec parser (flow/pipeline.hpp). The parser
+// is a total function: any input must produce either a Pipeline or a typed
+// kInvalidArgument status — never throw, crash or hang. Inputs that do
+// parse are additionally round-tripped through to_string() to pin the
+// canonical form. Regression corpus: fuzz/corpus/pipeline_spec/.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "flow/pipeline.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  rdc::exec::Result<rdc::flow::Pipeline> result =
+      rdc::flow::parse_pipeline(text);
+  if (result.ok()) {
+    // Canonical forms are a fixed point: parse(to_string()) must succeed
+    // and re-render identically.
+    const std::string canonical = result->to_string();
+    rdc::exec::Result<rdc::flow::Pipeline> again =
+        rdc::flow::parse_pipeline(canonical);
+    if (!again.ok() || again->to_string() != canonical) std::abort();
+  }
+  return 0;
+}

@@ -3,7 +3,10 @@
 # by an ASan+UBSan build of the unit tests to catch memory and UB bugs the
 # release build hides (the word-parallel kernels and the thread pool are
 # exactly the kind of code sanitizers pay off on), a fuzz-corpus replay of
-# the four parser fuzz targets, and the §10 fault-injection smoke: a
+# the five parser fuzz targets, a pipeline smoke (rdcsyn_cli --pipeline
+# with a nondefault spec plus a batch fan-out over the examples/ fixtures,
+# reports validated with rdc_json_check), and the §10 fault-injection
+# smoke: a
 # bench_table1 run over a circuit list containing a malformed BLIF and a
 # deadline-busting circuit, plus an RDC_FAULT espresso failure — both must
 # complete with error rows, not abort.
@@ -44,7 +47,7 @@ grep -q "rdc::obs" "$smoke_dir/summary.txt" || {
 run_fuzzers() {
   local build_dir="$1"
   local target
-  for target in pla blif aiger json; do
+  for target in pla blif aiger json pipeline_spec; do
     local bin="$build_dir/fuzz/fuzz_$target"
     local corpus="fuzz/corpus/$target"
     [[ -x "$bin" ]] || { echo "missing fuzz binary $bin" >&2; return 1; }
@@ -61,6 +64,33 @@ run_fuzzers() {
 echo
 echo "== fuzz corpus replay (release build) =="
 run_fuzzers build
+
+echo
+echo "== pipeline smoke: rdcsyn_cli --pipeline / batch =="
+# A nondefault spec (extract instead of factor|aig, delay mapping) through
+# the single-circuit path, then a batch fan-out over the examples/
+# fixtures; both reports must validate structurally.
+./build/examples/rdcsyn_cli synth examples/fixtures/builtin.pla \
+  --pipeline "assign:lcf(0.6,balanced) | espresso | extract | map:delay | analyze | error_rate" \
+  --json "$smoke_dir/pipeline.json" > /dev/null
+./build/tools/rdc_json_check "$smoke_dir/pipeline.json" \
+  schema phases metrics metrics.error_rate metrics.gates
+./build/examples/rdcsyn_cli batch examples/fixtures/*.pla \
+  --pipeline "assign:ranking(0.75) | espresso | factor | aig | resyn | map:power | analyze | error_rate" \
+  --json "$smoke_dir/batch.json" > /dev/null
+./build/tools/rdc_json_check "$smoke_dir/batch.json" \
+  schema suite git_rev date threads compiler rows meta.pipeline
+# A malformed spec must fail with a position-annotated parse error.
+if ./build/examples/rdcsyn_cli synth examples/fixtures/builtin.pla \
+     --pipeline "espresso | nosuchpass" > /dev/null 2> "$smoke_dir/parse_err.txt"; then
+  echo "pipeline smoke: malformed spec unexpectedly accepted" >&2
+  exit 1
+fi
+grep -q "at offset" "$smoke_dir/parse_err.txt" || {
+  echo "pipeline smoke: parse error lacks a byte offset" >&2
+  cat "$smoke_dir/parse_err.txt" >&2
+  exit 1
+}
 
 echo
 echo "== §10 fault-isolation smoke =="
@@ -139,7 +169,7 @@ if [[ "$run_sanitizers" == "1" ]]; then
     -DRDC_ENABLE_FUZZERS=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j --target rdcsyn_tests \
-    fuzz_pla fuzz_blif fuzz_aiger fuzz_json
+    fuzz_pla fuzz_blif fuzz_aiger fuzz_json fuzz_pipeline_spec
   (cd build-asan && ctest --output-on-failure -j)
   echo
   echo "== fuzz corpus replay (ASan+UBSan build) =="

@@ -5,7 +5,9 @@
 // StatusError(kFaultInjected). Sites planted in the tree: "espresso" (one
 // espresso() run), "sat" (one Solver::solve call), "neighbor" (one
 // NeighborTable build), "flow.exact" / "flow.heuristic" /
-// "flow.conventional" (the three rungs of run_flow's degradation ladder).
+// "flow.conventional" (the three rungs of run_flow's degradation ladder),
+// "pipeline.pass" (the Pipeline harness's pass boundary — one hit per pass
+// about to run).
 //
 // The disarmed fast path is a single relaxed atomic load, so fault points
 // are safe to leave in release builds; hits are counted per site with a

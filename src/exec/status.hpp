@@ -111,6 +111,9 @@ class Result {
   T& value() { return *value_; }
   const T& value() const { return *value_; }
   T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
 
  private:
   Status status_;

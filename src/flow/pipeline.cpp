@@ -1,0 +1,287 @@
+#include "flow/pipeline.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "exec/fault.hpp"
+#include "obs/trace.hpp"
+
+namespace rdc::flow {
+
+namespace {
+
+/// End-of-run stamp: the deterministic result metrics, in the same order
+/// the pre-pass-manager flow wrote them. Each block is gated on the
+/// artifact actually existing so partial pipelines ("espresso only") and
+/// the fallback rung (no assignment statistics) stamp only what they
+/// computed.
+void stamp_result_metrics(Design& design) {
+  obs::Record& metrics = design.report.metrics;
+  if (design.has_assignment) {
+    metrics.set("name", design.spec().name());
+    metrics.set("policy", design.policy);
+    metrics.set("inputs", design.spec().num_inputs());
+    metrics.set("outputs", design.spec().num_outputs());
+    metrics.set("dc_before", design.assignment.dc_before);
+    metrics.set("dc_assigned", design.assignment.assigned);
+    metrics.set("dc_assigned_on", design.assignment.assigned_on);
+  }
+  if (design.has(Artifact::kStats)) {
+    metrics.set("gates", design.stats.gates);
+    metrics.set("area", design.stats.area);
+    metrics.set("delay_ps", design.stats.delay_ps);
+    metrics.set("power_uw", design.stats.power_uw);
+  }
+  if (design.has(Artifact::kErrorRate))
+    metrics.set("error_rate", design.error_rate);
+}
+
+}  // namespace
+
+std::string Pipeline::to_string() const {
+  std::string out;
+  for (const auto& pass : passes_) {
+    if (!out.empty()) out += " | ";
+    out += pass->spec();
+  }
+  return out;
+}
+
+exec::Status Pipeline::run(Design& design) const {
+  for (const auto& pass : passes_) {
+    // Budget checkpoint at the pass boundary. check_now() so an expired
+    // deadline is seen here, not on some 64th-stride poll deep inside the
+    // pass.
+    if (exec::ExecBudget* budget = exec::current_budget()) {
+      exec::Status status = budget->check_now();
+      if (!status.ok()) return status.with_context("pipeline");
+    }
+    obs::Span span(pass->name());
+    const std::uint64_t start_ns = obs::trace_now_ns();
+    exec::Status status;
+    try {
+      exec::fault_point("pipeline.pass");
+      status = pass->run(design);
+    } catch (...) {
+      status = exec::status_from_current_exception();
+    }
+    if (const char* label = pass->phase()) {
+      const double wall_ms =
+          static_cast<double>(obs::trace_now_ns() - start_ns) / 1e6;
+      auto& phases = design.report.phases;
+      // Adjacent passes of one family (factor/aig/balance/resyn →
+      // "factor_aig") coalesce into a single report row.
+      if (!phases.empty() && std::strcmp(phases.back().name, label) == 0)
+        phases.back().wall_ms += wall_ms;
+      else
+        phases.push_back({label, wall_ms});
+    }
+    if (!status.ok()) return status.with_context(pass->name());
+  }
+  stamp_result_metrics(design);
+  return {};
+}
+
+// --- spec parser ----------------------------------------------------------
+
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':' || c == '.' || c == '-';
+}
+
+exec::Status parse_error(const std::string& what, std::size_t offset) {
+  return exec::Status(exec::StatusCode::kInvalidArgument,
+                      "pipeline spec: " + what + " at offset " +
+                          std::to_string(offset));
+}
+
+}  // namespace
+
+exec::Result<Pipeline> parse_pipeline(std::string_view spec) {
+  Pipeline pipeline;
+  std::size_t at = 0;
+  const auto skip_ws = [&] {
+    while (at < spec.size() &&
+           std::isspace(static_cast<unsigned char>(spec[at])) != 0)
+      ++at;
+  };
+
+  skip_ws();
+  if (at == spec.size()) return parse_error("empty pipeline", at);
+  while (true) {
+    // name
+    const std::size_t name_begin = at;
+    while (at < spec.size() && is_name_char(spec[at])) ++at;
+    if (at == name_begin)
+      return parse_error(at < spec.size()
+                             ? "expected a pass name, got '" +
+                                   std::string(1, spec[at]) + "'"
+                             : "expected a pass name",
+                         at);
+    const std::string name(spec.substr(name_begin, at - name_begin));
+
+    // optional (arg, arg, ...)
+    std::vector<std::string> args;
+    skip_ws();
+    if (at < spec.size() && spec[at] == '(') {
+      const std::size_t open_at = at;
+      ++at;
+      while (true) {
+        skip_ws();
+        const std::size_t arg_begin = at;
+        while (at < spec.size() && spec[at] != ',' && spec[at] != ')' &&
+               spec[at] != '|' && spec[at] != '(')
+          ++at;
+        if (at == spec.size() || spec[at] == '|' || spec[at] == '(')
+          return parse_error("unclosed '('", open_at);
+        std::string arg(spec.substr(arg_begin, at - arg_begin));
+        while (!arg.empty() &&
+               std::isspace(static_cast<unsigned char>(arg.back())) != 0)
+          arg.pop_back();
+        if (arg.empty())
+          return parse_error("empty argument for pass '" + name + "'",
+                             arg_begin);
+        args.push_back(std::move(arg));
+        if (spec[at] == ')') {
+          ++at;
+          break;
+        }
+        ++at;  // ','
+      }
+    }
+
+    std::unique_ptr<Pass> pass;
+    if (exec::Status status = make_pass(name, args, pass); !status.ok())
+      return parse_error(status.message(), name_begin);
+    pipeline.append(std::move(pass));
+
+    skip_ws();
+    if (at == spec.size()) break;
+    if (spec[at] != '|')
+      return parse_error("expected '|' or end of spec, got '" +
+                             std::string(1, spec[at]) + "'",
+                         at);
+    ++at;
+    skip_ws();
+    if (at == spec.size()) return parse_error("trailing '|'", at - 1);
+  }
+  return pipeline;
+}
+
+// --- canonical flow specs -------------------------------------------------
+
+std::string canonical_flow_spec(DcPolicy policy, const FlowOptions& options) {
+  std::string spec;
+  switch (policy) {
+    case DcPolicy::kConventional:
+      spec = "assign:conventional";
+      break;
+    case DcPolicy::kRankingFraction:
+      spec = "assign:ranking(" + format_double(options.ranking_fraction) + ")";
+      break;
+    case DcPolicy::kRankingIncremental:
+      spec =
+          "assign:ranking_inc(" + format_double(options.ranking_fraction) + ")";
+      break;
+    case DcPolicy::kLcfThreshold:
+      spec = "assign:lcf(" + format_double(options.lcf_threshold) +
+             (options.lcf_assign_balanced ? ",balanced)" : ")");
+      break;
+    case DcPolicy::kAllReliability:
+      spec = "assign:all";
+      break;
+  }
+  spec += " | espresso | ";
+  spec += options.use_extraction ? "extract" : "factor | aig";
+  if (options.resyn_recipe) spec += " | resyn";
+  if (options.objective == OptimizeFor::kDelay) spec += " | balance";
+  spec += options.objective == OptimizeFor::kDelay ? " | map:delay"
+                                                   : " | map:power";
+  spec += " | analyze | error_rate";
+  return spec;
+}
+
+std::string conventional_fallback_spec(const FlowOptions& options) {
+  // No minimization at all: raw minterm covers, plain factoring (no
+  // resyn/extraction) so the rung's cost stays proportional to the spec.
+  std::string spec = "assign:zero | covers:minterm | factor | aig";
+  if (options.objective == OptimizeFor::kDelay) spec += " | balance";
+  spec += options.objective == OptimizeFor::kDelay ? " | map:delay"
+                                                   : " | map:power";
+  spec += " | analyze | error_rate";
+  return spec;
+}
+
+FlowResult take_flow_result(Design&& design) {
+  FlowResult result{std::move(design.working()), std::move(design.netlist()),
+                    design.stats,               design.error_rate,
+                    design.assignment,          std::move(design.report),
+                    {},                         DegradationLevel::kNone};
+  return result;
+}
+
+// --- batch driver ---------------------------------------------------------
+
+BatchResult run_pipeline_batch(const Pipeline& pipeline,
+                               const std::vector<IncompleteSpec>& specs,
+                               const BatchOptions& options) {
+  RDC_SPAN("pipeline.batch");
+  BatchResult batch{{}, obs::RunReport(options.suite), 0};
+  batch.results.resize(specs.size());
+
+  const bool budgeted = options.budget.deadline_ms > 0.0 ||
+                        options.budget.max_checkpoints > 0 ||
+                        options.budget.max_rss_bytes > 0;
+
+  // Fan circuits over the pool. Each circuit gets its own budget (when
+  // limits are set) and its own exception→Status boundary, so one doomed
+  // circuit degrades into an error row instead of taking down the batch.
+  ThreadPool::global().parallel_for(0, specs.size(), [&](std::uint64_t i) {
+    const IncompleteSpec& spec = specs[i];
+    Design design(spec, options.flow);
+    exec::ExecBudget budget(options.budget);
+    std::optional<exec::BudgetScope> scope;
+    if (budgeted) scope.emplace(&budget);
+    exec::Status status;
+    try {
+      status = pipeline.run(design);
+    } catch (...) {
+      status = exec::status_from_current_exception();
+    }
+    if (status.ok()) {
+      batch.results[i] = take_flow_result(std::move(design));
+    } else {
+      FlowResult partial{spec, Netlist(spec.num_inputs()), {}, 0.0, {}, {},
+                         {},   DegradationLevel::kPartial};
+      partial.status =
+          std::move(status.with_context("circuit " + spec.name()));
+      partial.report = std::move(design.report);
+      batch.results[i] = std::move(partial);
+    }
+  });
+
+  // Aggregate rows serially in input order — deterministic regardless of
+  // RDC_THREADS.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FlowResult& result = batch.results[i];
+    obs::Record& row = batch.report.add_row();
+    row.set("name", specs[i].name());
+    row.set("status", exec::status_code_name(result.status.code()));
+    row.merge(result.report.metrics);
+    if (!result.status.ok()) {
+      row.set("error", result.status.to_string());
+      ++batch.failures;
+    }
+  }
+  batch.report.meta().set("pipeline", pipeline.to_string());
+  batch.report.meta().set("circuits", specs.size());
+  batch.report.meta().set("failures", batch.failures);
+  return batch;
+}
+
+}  // namespace rdc::flow

@@ -2,69 +2,15 @@
 
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
-#include <vector>
 
-#include "aig/aig.hpp"
-#include "aig/balance.hpp"
-#include "common/thread_pool.hpp"
-#include "decomp/renode.hpp"
-#include "espresso/espresso.hpp"
 #include "exec/fault.hpp"
-#include "obs/counters.hpp"
+#include "flow/pipeline.hpp"
 #include "obs/trace.hpp"
-#include "reliability/error_rate.hpp"
-#include "sop/extract.hpp"
-#include "sop/factor.hpp"
 
 namespace rdc {
 namespace {
-
-/// Factor + AIG + map a set of per-output covers. When `report` is given,
-/// the factor_aig / map phases are timed into it and the AIG node count is
-/// recorded as a metric.
-Netlist synthesize_covers(unsigned num_inputs,
-                          const std::vector<Cover>& covers,
-                          OptimizeFor objective, bool resyn_recipe,
-                          bool use_extraction, const CellLibrary& lib,
-                          obs::FlowReport* report) {
-  obs::FlowReport scratch;  // discarded when the caller doesn't want one
-  obs::FlowReport& r = report != nullptr ? *report : scratch;
-
-  Aig aig(num_inputs);
-  {
-    obs::PhaseScope phase(r, "factor_aig");
-    if (use_extraction) {
-      const ExtractionResult extraction = build_with_extraction(aig, covers);
-      for (const std::uint32_t out : extraction.outputs) aig.add_output(out);
-    } else {
-      for (const Cover& cover : covers)
-        aig.add_output(aig.build(factor(cover)));
-    }
-    if (resyn_recipe) {
-      // Second-opinion restructuring: balance, refactor nodes against their
-      // satisfiability DCs (output-preserving), keep the result only when it
-      // shrinks, balance again.
-      aig = balance(aig);
-      RenodeOptions renode_options;
-      renode_options.reliability_assign = false;
-      RenodeResult refactored = renode_and_assign(aig, renode_options);
-      if (refactored.network.num_ands() < aig.num_ands())
-        aig = std::move(refactored.network);
-      aig = balance(aig);
-    }
-    if (objective == OptimizeFor::kDelay) aig = balance(aig);
-  }
-  obs::count(obs::Counter::kAigAndsBuilt, aig.num_ands());
-  r.metrics.set("aig_ands", aig.num_ands());
-
-  obs::PhaseScope phase(r, "map");
-  MapOptions map_options;
-  map_options.objective = objective == OptimizeFor::kDelay
-                              ? MapObjective::kDelay
-                              : MapObjective::kArea;
-  return map_aig(aig, lib, map_options);
-}
 
 const char* policy_name(DcPolicy policy) {
   switch (policy) {
@@ -77,105 +23,52 @@ const char* policy_name(DcPolicy policy) {
   return "unknown";
 }
 
-}  // namespace
-
-Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
-  RDC_SPAN("flow.synthesize");
-  for (const auto& f : assigned.outputs())
-    if (!f.fully_specified())
-      throw std::invalid_argument("synthesize: spec must be fully assigned");
-  // Outputs are minimized independently; fan the ESPRESSO passes out over
-  // the process-wide pool (RDC_THREADS).
-  std::vector<Cover> covers(assigned.num_outputs(),
-                            Cover(assigned.num_inputs()));
-  ThreadPool::global().parallel_for(
-      0, assigned.num_outputs(), [&](std::uint64_t o) {
-        covers[o] = minimize(assigned.output(static_cast<unsigned>(o)));
-      });
-  return synthesize_covers(assigned.num_inputs(), covers, objective,
-                           /*resyn_recipe=*/false, /*use_extraction=*/false,
-                           CellLibrary::generic70(), /*report=*/nullptr);
+/// Up-front FlowOptions validation, per policy: only the knobs the policy
+/// actually reads are checked, so e.g. a garbage lcf_threshold cannot fail
+/// a conventional run. The negated comparisons are deliberate — they also
+/// reject NaN.
+exec::Status validate_options(DcPolicy policy, const FlowOptions& options) {
+  switch (policy) {
+    case DcPolicy::kRankingFraction:
+    case DcPolicy::kRankingIncremental:
+      if (!(options.ranking_fraction >= 0.0 &&
+            options.ranking_fraction <= 1.0))
+        return exec::Status(
+            exec::StatusCode::kInvalidArgument,
+            "ranking_fraction must be in [0, 1], got " +
+                std::to_string(options.ranking_fraction));
+      break;
+    case DcPolicy::kLcfThreshold:
+      if (!(options.lcf_threshold > 0.0 && options.lcf_threshold < 1.0))
+        return exec::Status(exec::StatusCode::kInvalidArgument,
+                            "lcf_threshold must be in (0, 1), got " +
+                                std::to_string(options.lcf_threshold));
+      break;
+    case DcPolicy::kConventional:
+    case DcPolicy::kAllReliability:
+      break;
+  }
+  return {};
 }
 
-namespace {
+/// Parses and runs a canonical spec over `design`; throws StatusError on
+/// any failure so the callers' exception→Status boundaries see a typed
+/// error. Canonical specs always parse — a parse failure here is a bug.
+void run_canonical(const std::string& spec_string, flow::Design& design) {
+  exec::Result<flow::Pipeline> pipeline = flow::parse_pipeline(spec_string);
+  if (!pipeline.ok()) throw exec::StatusError(pipeline.status());
+  if (exec::Status status = pipeline->run(design); !status.ok())
+    throw exec::StatusError(std::move(status));
+}
 
-/// One full pass of the flow pipeline at a given ESPRESSO effort. Throws
+/// One full run of the flow's pipeline at a given ESPRESSO effort. Throws
 /// on budget trips / injected faults; the ladder in run_flow catches.
-FlowResult run_pipeline(const IncompleteSpec& spec, DcPolicy policy,
-                        const FlowOptions& options,
-                        const EspressoOptions& espresso_options) {
-  obs::FlowReport report;
-  IncompleteSpec working = spec;
-
-  AssignmentResult assignment;
-  {
-    obs::PhaseScope phase(report, "dc_assign");
-    switch (policy) {
-      case DcPolicy::kConventional:
-        break;
-      case DcPolicy::kRankingFraction:
-        assignment = ranking_assign(working, options.ranking_fraction);
-        break;
-      case DcPolicy::kRankingIncremental:
-        assignment =
-            ranking_assign_incremental(working, options.ranking_fraction);
-        break;
-      case DcPolicy::kLcfThreshold:
-        assignment = lcf_assign(working, options.lcf_threshold,
-                                options.lcf_assign_balanced);
-        break;
-      case DcPolicy::kAllReliability:
-        assignment = ranking_assign(working, 1.0);
-        break;
-    }
-  }
-
-  // Conventional assignment of whatever the reliability pass left as DC —
-  // exactly what handing the partially assigned .pla to the optimizer does
-  // in the paper's flow. The minimized covers double as the synthesis
-  // input. Each output is independent, so the ESPRESSO passes fan out over
-  // the process-wide pool (RDC_THREADS).
-  std::vector<Cover> covers(working.num_outputs(),
-                            Cover(working.num_inputs()));
-  {
-    obs::PhaseScope phase(report, "espresso");
-    ThreadPool::global().parallel_for(
-        0, working.num_outputs(), [&](std::uint64_t o) {
-          covers[o] = conventional_assign(
-              working.output(static_cast<unsigned>(o)), espresso_options);
-        });
-  }
-
-  FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
-                    assignment, {}, {}, DegradationLevel::kNone};
-  const CellLibrary& lib =
-      options.library ? *options.library : CellLibrary::generic70();
-  result.netlist = synthesize_covers(spec.num_inputs(), covers,
-                                     options.objective, options.resyn_recipe,
-                                     options.use_extraction, lib, &report);
-  {
-    obs::PhaseScope phase(report, "analyze");
-    result.stats = analyze_netlist(result.netlist, lib);
-  }
-  {
-    obs::PhaseScope phase(report, "error_rate");
-    result.error_rate = exact_error_rate(result.implementation, spec);
-  }
-
-  report.metrics.set("name", spec.name());
-  report.metrics.set("policy", policy_name(policy));
-  report.metrics.set("inputs", spec.num_inputs());
-  report.metrics.set("outputs", spec.num_outputs());
-  report.metrics.set("dc_before", assignment.dc_before);
-  report.metrics.set("dc_assigned", assignment.assigned);
-  report.metrics.set("dc_assigned_on", assignment.assigned_on);
-  report.metrics.set("gates", result.stats.gates);
-  report.metrics.set("area", result.stats.area);
-  report.metrics.set("delay_ps", result.stats.delay_ps);
-  report.metrics.set("power_uw", result.stats.power_uw);
-  report.metrics.set("error_rate", result.error_rate);
-  result.report = std::move(report);
-  return result;
+FlowResult run_rung(const IncompleteSpec& spec, DcPolicy policy,
+                    const FlowOptions& options, bool heuristic) {
+  flow::Design design(spec, options);
+  if (heuristic) design.espresso.max_iterations = 0;
+  run_canonical(flow::canonical_flow_spec(policy, options), design);
+  return flow::take_flow_result(std::move(design));
 }
 
 /// The ladder's last functional rung: no minimization at all. Remaining
@@ -183,48 +76,13 @@ FlowResult run_pipeline(const IncompleteSpec& spec, DcPolicy policy,
 /// are raw minterm lists, and the whole rung runs with the budget MASKED so
 /// it terminates even after a deadline has expired.
 FlowResult run_conventional_fallback(const IncompleteSpec& spec,
-                                     DcPolicy /*policy*/,
                                      const FlowOptions& options) {
   exec::BudgetScope mask(nullptr);
   exec::fault_point("flow.conventional");
-  obs::FlowReport report;
-  IncompleteSpec working = spec;
-  {
-    obs::PhaseScope phase(report, "dc_assign");
-    for (auto& f : working.outputs())
-      for (const std::uint32_t m : f.dc_minterms())
-        f.set_phase(m, Phase::kZero);
-  }
-
-  std::vector<Cover> covers;
-  covers.reserve(working.num_outputs());
-  for (const auto& f : working.outputs())
-    covers.push_back(Cover::from_phase(f, Phase::kOne));
-
-  FlowResult result{std::move(working), Netlist(spec.num_inputs()), {}, 0.0,
-                    {}, {}, {}, DegradationLevel::kConventional};
-  const CellLibrary& lib =
-      options.library ? *options.library : CellLibrary::generic70();
-  // Minterm covers can be wide; factor them plainly (no resyn/extraction)
-  // so the fallback's cost stays proportional to the spec size.
-  result.netlist = synthesize_covers(spec.num_inputs(), covers,
-                                     options.objective,
-                                     /*resyn_recipe=*/false,
-                                     /*use_extraction=*/false, lib, &report);
-  {
-    obs::PhaseScope phase(report, "analyze");
-    result.stats = analyze_netlist(result.netlist, lib);
-  }
-  {
-    obs::PhaseScope phase(report, "error_rate");
-    result.error_rate = exact_error_rate(result.implementation, spec);
-  }
-  report.metrics.set("gates", result.stats.gates);
-  report.metrics.set("area", result.stats.area);
-  report.metrics.set("delay_ps", result.stats.delay_ps);
-  report.metrics.set("power_uw", result.stats.power_uw);
-  report.metrics.set("error_rate", result.error_rate);
-  result.report = std::move(report);
+  flow::Design design(spec, options);
+  run_canonical(flow::conventional_fallback_spec(options), design);
+  FlowResult result = flow::take_flow_result(std::move(design));
+  result.degradation = DegradationLevel::kConventional;
   return result;
 }
 
@@ -244,6 +102,11 @@ void finalize(FlowResult& result, const IncompleteSpec& spec, DcPolicy policy,
     metrics.set("degraded_reason", reason.to_string());
 }
 
+FlowResult make_partial(const IncompleteSpec& spec) {
+  return FlowResult{spec, Netlist(spec.num_inputs()), {}, 0.0,
+                    {},   {},                         {}, DegradationLevel::kPartial};
+}
+
 }  // namespace
 
 const char* degradation_level_name(DegradationLevel level) {
@@ -256,9 +119,35 @@ const char* degradation_level_name(DegradationLevel level) {
   return "unknown";
 }
 
+Netlist synthesize(const IncompleteSpec& assigned, OptimizeFor objective) {
+  RDC_SPAN("flow.synthesize");
+  for (const auto& f : assigned.outputs())
+    if (!f.fully_specified())
+      throw std::invalid_argument("synthesize: spec must be fully assigned");
+  // The lower half of the flow as a pipeline spec. On a fully assigned spec
+  // the espresso pass is pure minimization (no DCs left to assign).
+  flow::Design design(assigned);
+  run_canonical(objective == OptimizeFor::kDelay
+                    ? "espresso | factor | aig | balance | map:delay"
+                    : "espresso | factor | aig | map:power",
+                design);
+  return std::move(design.netlist());
+}
+
 FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
                     const FlowOptions& options) {
   RDC_SPAN("flow.run");
+  // Reject out-of-range policy knobs before any work happens; a typo'd
+  // fraction is a caller bug, not something to degrade around.
+  if (exec::Status invalid = validate_options(policy, options);
+      !invalid.ok()) {
+    FlowResult partial = make_partial(spec);
+    partial.status = std::move(invalid.with_context("flow"));
+    finalize(partial, spec, policy, DegradationLevel::kPartial,
+             partial.status);
+    return partial;
+  }
+
   // Install the caller-provided budget (if any) for the whole flow; the
   // thread pool re-installs it on every worker of the fan-out.
   std::optional<exec::BudgetScope> scope;
@@ -267,7 +156,7 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
   // Rung 0: the full-quality flow with exact-effort ESPRESSO.
   exec::Result<FlowResult> exact = exec::capture([&] {
     exec::fault_point("flow.exact");
-    return run_pipeline(spec, policy, options, EspressoOptions{});
+    return run_rung(spec, policy, options, /*heuristic=*/false);
   });
   if (exact.ok()) {
     finalize(*exact, spec, policy, DegradationLevel::kNone, exec::Status());
@@ -281,9 +170,7 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
     // Rung 1: heuristic ESPRESSO — single expand+irredundant pass.
     exec::Result<FlowResult> heuristic = exec::capture([&] {
       exec::fault_point("flow.heuristic");
-      EspressoOptions cheap;
-      cheap.max_iterations = 0;
-      return run_pipeline(spec, policy, options, cheap);
+      return run_rung(spec, policy, options, /*heuristic=*/true);
     });
     if (heuristic.ok()) {
       finalize(*heuristic, spec, policy, DegradationLevel::kHeuristic,
@@ -293,7 +180,7 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
 
     // Rung 2: conventional-only assignment, budget masked.
     exec::Result<FlowResult> fallback = exec::capture(
-        [&] { return run_conventional_fallback(spec, policy, options); });
+        [&] { return run_conventional_fallback(spec, options); });
     if (fallback.ok()) {
       finalize(*fallback, spec, policy, DegradationLevel::kConventional,
                reason);
@@ -304,8 +191,7 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
 
   // Partial result: no netlist, but still a well-formed FlowResult with a
   // parseable report so harnesses can emit an error row and move on.
-  FlowResult partial{spec, Netlist(spec.num_inputs()), {}, 0.0,
-                     {}, {}, {}, DegradationLevel::kPartial};
+  FlowResult partial = make_partial(spec);
   partial.status = reason;
   partial.status.with_context("flow");
   finalize(partial, spec, policy, DegradationLevel::kPartial, reason);

@@ -99,7 +99,13 @@ struct FlowResult {
 /// Runs the full flow on a specification. No-throw by design: budget trips,
 /// injected faults and internal errors make it descend the ladder
 /// documented on DegradationLevel; the worst case is a kPartial result
-/// whose FlowResult::status carries the terminal failure.
+/// whose FlowResult::status carries the terminal failure. Options are
+/// validated up front per policy (ranking_fraction in [0, 1],
+/// lcf_threshold in (0, 1)); an out-of-range knob returns a kPartial
+/// result with kInvalidArgument without running anything.
+///
+/// Internally this parses and runs the canonical pipeline spec for the
+/// policy (flow/pipeline.hpp); `flow::canonical_flow_spec` exposes it.
 FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
                     const FlowOptions& options = {});
 

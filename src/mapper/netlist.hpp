@@ -22,6 +22,8 @@ struct Gate {
 
 class Netlist {
  public:
+  /// Empty 0-input netlist; a placeholder container element.
+  Netlist() = default;
   explicit Netlist(unsigned num_inputs) : num_inputs_(num_inputs) {}
 
   unsigned num_inputs() const { return num_inputs_; }
@@ -63,7 +65,7 @@ class Netlist {
   TernaryTruthTable output_table(unsigned o) const;
 
  private:
-  unsigned num_inputs_;
+  unsigned num_inputs_ = 0;
   std::vector<Gate> gates_;
   std::vector<std::uint32_t> outputs_;
 };

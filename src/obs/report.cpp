@@ -50,6 +50,10 @@ void Record::set_uint(std::string key, std::uint64_t value) {
   field.uint_value = value;
 }
 
+void Record::merge(const Record& other) {
+  for (const Field& field : other.fields_) slot(field.key) = field;
+}
+
 void Record::write(JsonWriter& w) const {
   w.begin_object();
   for (const Field& field : fields_) {

@@ -40,6 +40,10 @@ class Record {
   }
 
   bool empty() const { return fields_.empty(); }
+  /// Copies every field of `other` into this record (existing keys are
+  /// overwritten in place, new keys append) — used to fold a FlowReport's
+  /// metrics into a batch report row.
+  void merge(const Record& other);
   /// Writes the fields as one JSON object.
   void write(JsonWriter& w) const;
 

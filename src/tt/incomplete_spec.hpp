@@ -16,6 +16,8 @@ namespace rdc {
 /// A named bundle of single-output ternary functions over shared inputs.
 class IncompleteSpec {
  public:
+  /// Empty 0-input, 0-output spec; a placeholder container element.
+  IncompleteSpec() : IncompleteSpec(std::string(), 0, 0) {}
   IncompleteSpec(std::string name, unsigned num_inputs, unsigned num_outputs);
 
   const std::string& name() const { return name_; }
