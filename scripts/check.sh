@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Local CI: the tier-1 configure/build/ctest line from ROADMAP.md, followed
+# Local CI: the tier-1 configure/build/ctest line from ROADMAP.md (run
+# twice: once on the default SIMD dispatch, once pinned to the scalar
+# backend with RDC_SIMD=scalar), followed
 # by an ASan+UBSan build of the unit tests to catch memory and UB bugs the
 # release build hides (the word-parallel kernels and the thread pool are
 # exactly the kind of code sanitizers pay off on), a fuzz-corpus replay of
@@ -26,6 +28,13 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . -DRDC_ENABLE_FUZZERS=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo
+echo "== tier-1 rerun on the scalar SIMD backend =="
+# The differential tests force each backend per test, but the whole suite
+# must also hold with the dispatch pinned to the portable kernels — the
+# configuration every non-x86 target runs.
+(cd build && RDC_SIMD=scalar ctest --output-on-failure -j)
 
 echo
 echo "== observability smoke: traced --json harness run =="
@@ -160,6 +169,19 @@ grep -qF '"status": "OK"' "$smoke_dir/faults2.json" || {
 grep -qF '"status": "FAULT_INJECTED"' "$smoke_dir/faults2.json" || {
   echo "fault smoke B: missing FAULT_INJECTED row" >&2; exit 1
 }
+
+echo
+echo "== bench smoke: SIMD kernel snapshot validates =="
+# A cut-down run of the BENCH_simd.json recipe (the checked-in artifact is
+# produced by bench/run_bench_baseline.sh build BENCH_simd.json): the
+# snapshot must be a structurally valid rdc.bench.report.v1 document that
+# records which backend produced it.
+./build/bench/bench_micro \
+  --benchmark_filter='BM_(ExactErrorRate|ErrorRateTracker|SampledErrorRate)/16$' \
+  --benchmark_min_time=0.05 \
+  --json "$smoke_dir/bench_simd.json" > /dev/null
+./build/tools/rdc_json_check "$smoke_dir/bench_simd.json" \
+  schema suite git_rev date threads compiler simd rows counters
 
 if [[ "$run_sanitizers" == "1" ]]; then
   echo

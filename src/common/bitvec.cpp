@@ -1,5 +1,7 @@
 #include "common/bitvec.hpp"
 
+#include "common/simd.hpp"
+
 namespace rdc {
 
 void BitVec::fill() {
@@ -59,8 +61,9 @@ BitVec BitVec::neighbor_shift(unsigned j) const {
 }
 
 BitVec BitVec::shift_xor_neighbors(unsigned j) const {
-  BitVec result = neighbor_shift(j);
-  result ^= *this;
+  assert((2ull << j) <= num_bits_);
+  BitVec result(num_bits_);
+  simd::shift_xor(result.data(), words_.data(), words_.size(), j);
   return result;
 }
 
@@ -114,24 +117,13 @@ BitVec bv_andnot(const BitVec& a, const BitVec& b) {
 
 std::uint64_t popcount_and(const BitVec& a, const BitVec& b) {
   assert(a.size() == b.size());
-  std::uint64_t total = 0;
-  const std::uint64_t* wa = a.data();
-  const std::uint64_t* wb = b.data();
-  for (std::size_t w = 0; w < a.num_words(); ++w)
-    total += std::popcount(wa[w] & wb[w]);
-  return total;
+  return simd::popcount_and(a.data(), b.data(), a.num_words());
 }
 
 std::uint64_t popcount_xor_and(const BitVec& a, const BitVec& b,
                                const BitVec& c) {
   assert(a.size() == b.size() && a.size() == c.size());
-  std::uint64_t total = 0;
-  const std::uint64_t* wa = a.data();
-  const std::uint64_t* wb = b.data();
-  const std::uint64_t* wc = c.data();
-  for (std::size_t w = 0; w < a.num_words(); ++w)
-    total += std::popcount((wa[w] ^ wb[w]) & wc[w]);
-  return total;
+  return simd::popcount_xor_and(a.data(), b.data(), c.data(), a.num_words());
 }
 
 }  // namespace rdc

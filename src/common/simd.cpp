@@ -1,0 +1,510 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bitvec.hpp"
+
+#if RDC_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace rdc::simd {
+namespace {
+
+// --- scalar backend (the portable word-parallel reference) ----------------
+
+std::uint64_t popcount_and_scalar(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) total += std::popcount(a[w] & b[w]);
+  return total;
+}
+
+std::uint64_t popcount_xor_and_scalar(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      const std::uint64_t* c,
+                                      std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    total += std::popcount((a[w] ^ b[w]) & c[w]);
+  return total;
+}
+
+std::uint64_t popcount_shiftxor_and_scalar(const std::uint64_t* a,
+                                           const std::uint64_t* care,
+                                           std::size_t words, unsigned j) {
+  std::uint64_t total = 0;
+  if (j < 6) {
+    for (std::size_t w = 0; w < words; ++w)
+      total += std::popcount((word_neighbor_shift(a[w], j) ^ a[w]) & care[w]);
+  } else {
+    const std::size_t stride = std::size_t{1} << (j - 6);
+    for (std::size_t w = 0; w < words; ++w)
+      total += std::popcount((a[w ^ stride] ^ a[w]) & care[w]);
+  }
+  return total;
+}
+
+void shift_xor_scalar(std::uint64_t* dst, const std::uint64_t* a,
+                      std::size_t words, unsigned j) {
+  if (j < 6) {
+    for (std::size_t w = 0; w < words; ++w)
+      dst[w] = word_neighbor_shift(a[w], j) ^ a[w];
+  } else {
+    const std::size_t stride = std::size_t{1} << (j - 6);
+    for (std::size_t w = 0; w < words; ++w) dst[w] = a[w ^ stride] ^ a[w];
+  }
+}
+
+#if RDC_SIMD_X86
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's _mm{256,512}_undefined_* helpers (used by the reduce/extract
+// intrinsics inside immintrin.h) trip spurious -Wmaybe-uninitialized when
+// inlined here; the values are intentionally undefined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+// --- AVX2 backend ---------------------------------------------------------
+//
+// Popcount is Mula's byte-shuffle algorithm: a 16-entry nibble LUT applied
+// with VPSHUFB, byte sums folded into 4 u64 lanes by VPSADBW. The neighbor
+// permutation runs in-register: lane-local shift/mask pairs for j < 6,
+// VPERMQ for the one- and two-word strides, and plain block loads once the
+// stride covers a whole vector.
+
+__attribute__((target("avx2"))) inline __m256i popcount_epu64_avx2(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i bytes = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(bytes, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum_epi64_avx2(
+    __m256i v) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// In-word neighbor permutation of 4 lattice words at once (j < 6).
+__attribute__((target("avx2"))) inline __m256i neighbor_inword_avx2(
+    __m256i v, unsigned j) {
+  const __m256i mask =
+      _mm256_set1_epi64x(static_cast<long long>(kWordShiftMask[j]));
+  const __m128i s = _mm_cvtsi32_si128(static_cast<int>(1u << j));
+  return _mm256_or_si256(_mm256_and_si256(_mm256_srl_epi64(v, s), mask),
+                         _mm256_sll_epi64(_mm256_and_si256(v, mask), s));
+}
+
+__attribute__((target("avx2"))) std::uint64_t popcount_and_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_add_epi64(acc, popcount_epu64_avx2(_mm256_and_si256(va, vb)));
+  }
+  std::uint64_t total = hsum_epi64_avx2(acc);
+  for (; w < words; ++w) total += std::popcount(a[w] & b[w]);
+  return total;
+}
+
+__attribute__((target("avx2"))) std::uint64_t popcount_xor_and_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+    std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + w));
+    acc = _mm256_add_epi64(
+        acc,
+        popcount_epu64_avx2(_mm256_and_si256(_mm256_xor_si256(va, vb), vc)));
+  }
+  std::uint64_t total = hsum_epi64_avx2(acc);
+  for (; w < words; ++w) total += std::popcount((a[w] ^ b[w]) & c[w]);
+  return total;
+}
+
+__attribute__((target("avx2"))) std::uint64_t popcount_shiftxor_and_avx2(
+    const std::uint64_t* a, const std::uint64_t* care, std::size_t words,
+    unsigned j) {
+  if (words < 4) return popcount_shiftxor_and_scalar(a, care, words, j);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  const std::size_t stride = j < 6 ? 0 : std::size_t{1} << (j - 6);
+  for (; w + 4 <= words; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    __m256i nb;
+    if (j < 6)
+      nb = neighbor_inword_avx2(v, j);
+    else if (stride == 1)
+      nb = _mm256_permute4x64_epi64(v, 0xB1);  // lanes [1,0,3,2]
+    else if (stride == 2)
+      nb = _mm256_permute4x64_epi64(v, 0x4E);  // lanes [2,3,0,1]
+    else
+      nb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a + (w ^ stride)));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(care + w));
+    acc = _mm256_add_epi64(
+        acc,
+        popcount_epu64_avx2(_mm256_and_si256(_mm256_xor_si256(nb, v), vc)));
+  }
+  std::uint64_t total = hsum_epi64_avx2(acc);
+  for (; w < words; ++w) {
+    const std::uint64_t nb =
+        j < 6 ? word_neighbor_shift(a[w], j) : a[w ^ stride];
+    total += std::popcount((nb ^ a[w]) & care[w]);
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void shift_xor_avx2(std::uint64_t* dst,
+                                                    const std::uint64_t* a,
+                                                    std::size_t words,
+                                                    unsigned j) {
+  if (words < 4) {
+    shift_xor_scalar(dst, a, words, j);
+    return;
+  }
+  std::size_t w = 0;
+  const std::size_t stride = j < 6 ? 0 : std::size_t{1} << (j - 6);
+  for (; w + 4 <= words; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    __m256i nb;
+    if (j < 6)
+      nb = neighbor_inword_avx2(v, j);
+    else if (stride == 1)
+      nb = _mm256_permute4x64_epi64(v, 0xB1);
+    else if (stride == 2)
+      nb = _mm256_permute4x64_epi64(v, 0x4E);
+    else
+      nb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a + (w ^ stride)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_xor_si256(nb, v));
+  }
+  for (; w < words; ++w) {
+    const std::uint64_t nb =
+        j < 6 ? word_neighbor_shift(a[w], j) : a[w ^ stride];
+    dst[w] = nb ^ a[w];
+  }
+}
+
+// --- AVX-512 backend ------------------------------------------------------
+//
+// VPOPCNTDQ gives a native per-lane popcount; the neighbor permutation uses
+// VPERMQ (permutexvar) for the 1/2/4-word strides and block loads beyond.
+
+#define RDC_AVX512_TARGET \
+  "avx512f,avx512bw,avx512dq,avx512vl,avx512vpopcntdq"
+
+__attribute__((target(RDC_AVX512_TARGET))) inline __m512i
+neighbor_inword_avx512(__m512i v, unsigned j) {
+  const __m512i mask =
+      _mm512_set1_epi64(static_cast<long long>(kWordShiftMask[j]));
+  const __m128i s = _mm_cvtsi32_si128(static_cast<int>(1u << j));
+  return _mm512_or_si512(_mm512_and_si512(_mm512_srl_epi64(v, s), mask),
+                         _mm512_sll_epi64(_mm512_and_si512(v, mask), s));
+}
+
+__attribute__((target(RDC_AVX512_TARGET))) inline __m512i
+neighbor_cross_avx512(__m512i v, const std::uint64_t* a, std::size_t w,
+                      std::size_t stride) {
+  switch (stride) {
+    case 1:
+      return _mm512_permutexvar_epi64(
+          _mm512_setr_epi64(1, 0, 3, 2, 5, 4, 7, 6), v);
+    case 2:
+      return _mm512_permutexvar_epi64(
+          _mm512_setr_epi64(2, 3, 0, 1, 6, 7, 4, 5), v);
+    case 4:
+      return _mm512_permutexvar_epi64(
+          _mm512_setr_epi64(4, 5, 6, 7, 0, 1, 2, 3), v);
+    default:
+      return _mm512_loadu_si512(a + (w ^ stride));
+  }
+}
+
+__attribute__((target(RDC_AVX512_TARGET))) std::uint64_t popcount_and_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8)
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(_mm512_loadu_si512(a + w),
+                                                  _mm512_loadu_si512(b + w))));
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < words; ++w) total += std::popcount(a[w] & b[w]);
+  return total;
+}
+
+__attribute__((target(RDC_AVX512_TARGET))) std::uint64_t
+popcount_xor_and_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                        const std::uint64_t* c, std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + 8 <= words; w += 8)
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(
+                 _mm512_xor_si512(_mm512_loadu_si512(a + w),
+                                  _mm512_loadu_si512(b + w)),
+                 _mm512_loadu_si512(c + w))));
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < words; ++w) total += std::popcount((a[w] ^ b[w]) & c[w]);
+  return total;
+}
+
+__attribute__((target(RDC_AVX512_TARGET))) std::uint64_t
+popcount_shiftxor_and_avx512(const std::uint64_t* a, const std::uint64_t* care,
+                             std::size_t words, unsigned j) {
+  if (words < 8) return popcount_shiftxor_and_avx2(a, care, words, j);
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  const std::size_t stride = j < 6 ? 0 : std::size_t{1} << (j - 6);
+  for (; w + 8 <= words; w += 8) {
+    const __m512i v = _mm512_loadu_si512(a + w);
+    const __m512i nb = j < 6 ? neighbor_inword_avx512(v, j)
+                             : neighbor_cross_avx512(v, a, w, stride);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(
+                 _mm512_xor_si512(nb, v), _mm512_loadu_si512(care + w))));
+  }
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < words; ++w) {
+    const std::uint64_t nb =
+        j < 6 ? word_neighbor_shift(a[w], j) : a[w ^ stride];
+    total += std::popcount((nb ^ a[w]) & care[w]);
+  }
+  return total;
+}
+
+__attribute__((target(RDC_AVX512_TARGET))) void shift_xor_avx512(
+    std::uint64_t* dst, const std::uint64_t* a, std::size_t words,
+    unsigned j) {
+  if (words < 8) {
+    shift_xor_avx2(dst, a, words, j);
+    return;
+  }
+  std::size_t w = 0;
+  const std::size_t stride = j < 6 ? 0 : std::size_t{1} << (j - 6);
+  for (; w + 8 <= words; w += 8) {
+    const __m512i v = _mm512_loadu_si512(a + w);
+    const __m512i nb = j < 6 ? neighbor_inword_avx512(v, j)
+                             : neighbor_cross_avx512(v, a, w, stride);
+    _mm512_storeu_si512(dst + w, _mm512_xor_si512(nb, v));
+  }
+  for (; w < words; ++w) {
+    const std::uint64_t nb =
+        j < 6 ? word_neighbor_shift(a[w], j) : a[w ^ stride];
+    dst[w] = nb ^ a[w];
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // RDC_SIMD_X86
+
+// --- dispatch -------------------------------------------------------------
+
+struct KernelTable {
+  std::uint64_t (*popcount_and)(const std::uint64_t*, const std::uint64_t*,
+                                std::size_t);
+  std::uint64_t (*popcount_xor_and)(const std::uint64_t*, const std::uint64_t*,
+                                    const std::uint64_t*, std::size_t);
+  std::uint64_t (*popcount_shiftxor_and)(const std::uint64_t*,
+                                         const std::uint64_t*, std::size_t,
+                                         unsigned);
+  void (*shift_xor)(std::uint64_t*, const std::uint64_t*, std::size_t,
+                    unsigned);
+};
+
+constexpr KernelTable kScalarTable = {
+    popcount_and_scalar,
+    popcount_xor_and_scalar,
+    popcount_shiftxor_and_scalar,
+    shift_xor_scalar,
+};
+
+#if RDC_SIMD_X86
+constexpr KernelTable kAvx2Table = {
+    popcount_and_avx2,
+    popcount_xor_and_avx2,
+    popcount_shiftxor_and_avx2,
+    shift_xor_avx2,
+};
+
+constexpr KernelTable kAvx512Table = {
+    popcount_and_avx512,
+    popcount_xor_and_avx512,
+    popcount_shiftxor_and_avx512,
+    shift_xor_avx512,
+};
+#endif
+
+const KernelTable* table_for(Backend backend) {
+  switch (backend) {
+#if RDC_SIMD_X86
+    case Backend::kAvx2:
+      return &kAvx2Table;
+    case Backend::kAvx512:
+      return &kAvx512Table;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+/// Pointer to the active table; null until the first kernel call (or
+/// active_backend/set_backend) resolves RDC_SIMD. Written with release so a
+/// reader observing the pointer also observes the matching g_backend.
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<unsigned> g_backend{0};
+
+const KernelTable* install(Backend backend) {
+  const KernelTable* table = table_for(backend);
+  g_backend.store(static_cast<unsigned>(backend), std::memory_order_relaxed);
+  g_table.store(table, std::memory_order_release);
+  return table;
+}
+
+const KernelTable* resolve() {
+  Backend backend = best_backend();
+  if (const char* env = std::getenv("RDC_SIMD");
+      env != nullptr && *env != '\0') {
+    Backend requested = backend;
+    if (!parse_backend(env, requested)) {
+      std::fprintf(stderr,
+                   "[rdc::simd] unknown RDC_SIMD value '%s' "
+                   "(expected scalar|avx2|avx512); using %s\n",
+                   env, backend_name(backend));
+    } else if (!backend_supported(requested)) {
+      while (!backend_supported(requested))
+        requested = static_cast<Backend>(static_cast<unsigned>(requested) - 1);
+      std::fprintf(stderr,
+                   "[rdc::simd] RDC_SIMD=%s is not supported on this CPU; "
+                   "falling back to %s\n",
+                   env, backend_name(requested));
+      backend = requested;
+    } else {
+      backend = requested;
+    }
+  }
+  return install(backend);
+}
+
+inline const KernelTable& table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  return t != nullptr ? *t : *resolve();
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_backend(std::string_view name, Backend& out) {
+  if (name == "scalar") out = Backend::kScalar;
+  else if (name == "avx2") out = Backend::kAvx2;
+  else if (name == "avx512") out = Backend::kAvx512;
+  else return false;
+  return true;
+}
+
+bool backend_supported(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+#if RDC_SIMD_X86
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+    case Backend::kAvx2:
+    case Backend::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+Backend best_backend() {
+  if (backend_supported(Backend::kAvx512)) return Backend::kAvx512;
+  if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kScalar;
+}
+
+Backend active_backend() {
+  table();  // force resolution
+  return static_cast<Backend>(g_backend.load(std::memory_order_relaxed));
+}
+
+bool set_backend(Backend backend) {
+  if (!backend_supported(backend)) return false;
+  install(backend);
+  return true;
+}
+
+std::uint64_t popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) {
+  return table().popcount_and(a, b, words);
+}
+
+std::uint64_t popcount_xor_and(const std::uint64_t* a, const std::uint64_t* b,
+                               const std::uint64_t* c, std::size_t words) {
+  return table().popcount_xor_and(a, b, c, words);
+}
+
+std::uint64_t popcount_shiftxor_and(const std::uint64_t* a,
+                                    const std::uint64_t* care,
+                                    std::size_t words, unsigned j) {
+  return table().popcount_shiftxor_and(a, care, words, j);
+}
+
+void shift_xor(std::uint64_t* dst, const std::uint64_t* a, std::size_t words,
+               unsigned j) {
+  table().shift_xor(dst, a, words, j);
+}
+
+}  // namespace rdc::simd

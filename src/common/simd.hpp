@@ -1,0 +1,96 @@
+// Runtime-dispatched SIMD backends for the hot bitset kernels.
+//
+// Every reliability metric in the repo bottoms out in a handful of
+// word-parallel primitives over packed 2^n-minterm bitsets (common/bitvec):
+// masked popcounts and the distance-1 neighbor permutation. This header
+// exposes those primitives as raw uint64_t-array kernels behind a dispatch
+// table that is resolved once per process:
+//
+//  * backend selection: the best instruction set the CPU supports
+//    (AVX-512 with VPOPCNTDQ > AVX2 > the portable word-parallel code),
+//    overridable with RDC_SIMD=scalar|avx2|avx512 for differential testing
+//    and for attributing bench numbers to a backend;
+//  * every backend returns exact integer counts, so results — and therefore
+//    all report JSON produced from them — are byte-identical across
+//    backends and thread counts.
+//
+// The "scalar" backend is the previous word-parallel implementation (still
+// 64 minterms per operation), kept as the portable fallback and the
+// differential-testing reference; on non-x86 targets it is the only
+// backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RDC_SIMD_X86 1
+#else
+#define RDC_SIMD_X86 0
+#endif
+
+namespace rdc::simd {
+
+/// Kernel instruction-set tiers, in increasing capability order.
+enum class Backend : unsigned {
+  kScalar = 0,  ///< portable 64-bit word-parallel code
+  kAvx2 = 1,    ///< 256-bit vectors, byte-shuffle popcount
+  kAvx512 = 2,  ///< 512-bit vectors, VPOPCNTDQ popcount
+};
+
+/// Stable lower-case name ("scalar", "avx2", "avx512") used by RDC_SIMD
+/// and in report metadata.
+const char* backend_name(Backend backend);
+
+/// Parses a backend name (the RDC_SIMD grammar). Returns false and leaves
+/// `out` untouched for unknown names.
+bool parse_backend(std::string_view name, Backend& out);
+
+/// True iff this CPU can execute `backend`'s kernels. kScalar is always
+/// supported.
+bool backend_supported(Backend backend);
+
+/// The most capable supported backend on this CPU.
+Backend best_backend();
+
+/// The backend the dispatch table currently points at. On first use this
+/// resolves RDC_SIMD (falling back toward kScalar, with a stderr note, if
+/// the requested backend is unsupported) or defaults to best_backend().
+Backend active_backend();
+
+/// Swaps the dispatch table to `backend` (testing and bench hook; the
+/// RDC_SIMD environment variable is the production override). Returns
+/// false — and changes nothing — if the CPU does not support it.
+/// Not thread-safe against concurrently running kernels.
+bool set_backend(Backend backend);
+
+// --- dispatched kernels ---------------------------------------------------
+//
+// All kernels operate on `words` 64-bit words. Tail bits beyond a caller's
+// logical size must be zero in every operand (the BitVec invariant); the
+// kernels preserve and rely on that.
+
+/// popcount(a & b).
+std::uint64_t popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words);
+
+/// popcount((a ^ b) & c).
+std::uint64_t popcount_xor_and(const std::uint64_t* a, const std::uint64_t* b,
+                               const std::uint64_t* c, std::size_t words);
+
+/// Fused distance-1 neighbor kernel: popcount((neighbor_j(a) ^ a) & care)
+/// where neighbor_j maps bit m to bit m ^ (1 << j) over the 64*words-bit
+/// lattice. The inner loop of the exact error rate, with no materialized
+/// temporaries. Requires 2^(j+1) <= 64 * words for j >= 6.
+std::uint64_t popcount_shiftxor_and(const std::uint64_t* a,
+                                    const std::uint64_t* care,
+                                    std::size_t words, unsigned j);
+
+/// dst[w] = neighbor_j(a)[w] ^ a[w] — the shift-XOR neighbor permutation
+/// (BitVec::shift_xor_neighbors without the allocation discipline). `dst`
+/// must not alias `a`. Requires 2^(j+1) <= 64 * words for j >= 6.
+void shift_xor(std::uint64_t* dst, const std::uint64_t* a, std::size_t words,
+               unsigned j);
+
+}  // namespace rdc::simd

@@ -1,15 +1,18 @@
 #include "flow/pass.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
 #include "aig/balance.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "decomp/renode.hpp"
 #include "mapper/tree_map.hpp"
 #include "obs/counters.hpp"
 #include "reliability/error_rate.hpp"
+#include "reliability/sampling.hpp"
 #include "sop/extract.hpp"
 
 namespace rdc::flow {
@@ -54,6 +57,21 @@ void Design::invalidate(Artifact artifact) {
   const unsigned first = static_cast<unsigned>(artifact);
   for (unsigned a = first; a < kNumArtifacts; ++a)
     valid_ &= ~(1u << a);
+}
+
+std::span<const NeighborTable> Design::spec_neighbors() {
+  if (!spec_neighbors_built_) {
+    spec_neighbors_.reserve(spec_.num_outputs());
+    for (const TernaryTruthTable& f : spec_.outputs())
+      spec_neighbors_.emplace_back(f);
+    spec_neighbors_built_ = true;
+  }
+  return spec_neighbors_;
+}
+
+ErrorRateTracker& Design::error_tracker() {
+  if (!error_tracker_.bound()) error_tracker_ = ErrorRateTracker(spec_);
+  return error_tracker_;
 }
 
 exec::Status Design::require(Artifact artifact, const char* who) const {
@@ -136,20 +154,26 @@ class AssignPass final : public Pass {
         // All DCs stay with the downstream minimizer (the baseline).
         policy = "conventional";
         break;
+      // The reliability policies hand in the Design's cached per-output
+      // NeighborTables: reset_working() just made working == spec, and all
+      // of them evaluate their metrics on the input specification, so the
+      // tables stay valid however often the pass re-runs.
       case Kind::kRanking:
-        result = ranking_assign(working, param_);
+        result = ranking_assign(working, param_, design.spec_neighbors());
         policy = "ranking_fraction";
         break;
       case Kind::kRankingInc:
-        result = ranking_assign_incremental(working, param_);
+        result = ranking_assign_incremental(working, param_,
+                                            design.spec_neighbors());
         policy = "ranking_incremental";
         break;
       case Kind::kLcf:
-        result = lcf_assign(working, param_, balanced_);
+        result = lcf_assign(working, param_, balanced_,
+                            design.spec_neighbors());
         policy = "lcf_threshold";
         break;
       case Kind::kAll:
-        result = ranking_assign(working, 1.0);
+        result = ranking_assign(working, 1.0, design.spec_neighbors());
         policy = "all_reliability";
         break;
       case Kind::kZero:
@@ -380,6 +404,29 @@ class AnalyzePass final : public Pass {
   }
 };
 
+/// Largest input count the exact estimator is asked to handle before the
+/// `error_rate` pass switches itself to the sampled estimator. Specs today
+/// are capped at kMaxInputs = 20, so the exact path always wins; the policy
+/// is what keeps the pass meaningful if that cap is ever lifted.
+constexpr unsigned kExactErrorRateInputLimit = 20;
+
+/// Default Monte-Carlo budget when sampling (the `error_rate:sampled(1e6)`
+/// canonical default).
+constexpr std::uint64_t kDefaultErrorRateSamples = 1000000;
+
+/// Shared sampled-estimator body: seeded from FlowOptions::sample_seed so
+/// the report is byte-deterministic for a fixed (spec, pipeline, seed).
+void run_sampled_error_rate(Design& design, std::uint64_t samples) {
+  Rng rng(design.options().sample_seed);
+  const SampledRate estimate =
+      sampled_error_rate_ci(design.working(), design.spec(), 1, samples, rng);
+  design.error_rate = estimate.rate;
+  design.estimator.sampled = true;
+  design.estimator.ci_low = estimate.ci_low;
+  design.estimator.ci_high = estimate.ci_high;
+  design.estimator.samples = estimate.samples;
+}
+
 class ErrorRatePass final : public Pass {
  public:
   const char* name() const override { return "error_rate"; }
@@ -390,10 +437,44 @@ class ErrorRatePass final : public Pass {
     // the implementation the exact rate is measured on.
     if (exec::Status s = design.require(Artifact::kCovers, name()); !s.ok())
       return s;
-    design.error_rate = exact_error_rate(design.working(), design.spec());
+    if (design.spec().num_inputs() > kExactErrorRateInputLimit) {
+      run_sampled_error_rate(design, kDefaultErrorRateSamples);
+      design.produced(Artifact::kErrorRate);
+      return {};
+    }
+    // The tracker's update is bit-identical to exact_error_rate and throws
+    // the same invalid_argument when the working spec is not completely
+    // specified; on repeat evaluations it only pays for the minterms whose
+    // phase changed since the last one.
+    design.error_rate = design.error_tracker().update(design.working());
+    design.estimator = {};
     design.produced(Artifact::kErrorRate);
     return {};
   }
+};
+
+class ErrorRateSampledPass final : public Pass {
+ public:
+  explicit ErrorRateSampledPass(std::uint64_t samples) : samples_(samples) {}
+
+  const char* name() const override { return "error_rate:sampled"; }
+  const char* phase() const override { return "error_rate"; }
+
+  std::string spec() const override {
+    if (samples_ == kDefaultErrorRateSamples) return name();
+    return std::string(name()) + "(" + std::to_string(samples_) + ")";
+  }
+
+  exec::Status run(Design& design) override {
+    if (exec::Status s = design.require(Artifact::kCovers, name()); !s.ok())
+      return s;
+    run_sampled_error_rate(design, samples_);
+    design.produced(Artifact::kErrorRate);
+    return {};
+  }
+
+ private:
+  std::uint64_t samples_;
 };
 
 // --- factory -------------------------------------------------------------
@@ -526,6 +607,22 @@ exec::Status make_pass(const std::string& name,
     out = std::make_unique<ErrorRatePass>();
     return {};
   }
+  if (name == "error_rate:sampled") {
+    if (exec::Status s = check_arity(name, args, 1); !s.ok()) return s;
+    std::uint64_t samples = kDefaultErrorRateSamples;
+    if (!args.empty()) {
+      // Double grammar so scientific notation works ("1e6"), but the value
+      // must be a whole draw count in [1, 1e9].
+      double value = 0.0;
+      if (!parse_double_arg(args[0], value) || !(value >= 1.0) ||
+          !(value <= 1e9) || value != std::floor(value))
+        return invalid("pass 'error_rate:sampled': '" + args[0] +
+                       "' is not a sample count in [1, 1e9]");
+      samples = static_cast<std::uint64_t>(value);
+    }
+    out = std::make_unique<ErrorRateSampledPass>(samples);
+    return {};
+  }
   return invalid("unknown pass '" + name + "'");
 }
 
@@ -535,7 +632,7 @@ std::vector<std::string> pass_names() {
           "espresso",            "covers:minterm", "factor",
           "extract",             "aig",            "balance",
           "resyn",               "map:delay",      "map:power",
-          "analyze",             "error_rate"};
+          "analyze",             "error_rate",     "error_rate:sampled"};
 }
 
 }  // namespace rdc::flow

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,10 @@
 #include "obs/report.hpp"
 #include "pla/cover.hpp"
 #include "reliability/assignment.hpp"
+#include "reliability/error_tracker.hpp"
 #include "sop/factor.hpp"
 #include "tt/incomplete_spec.hpp"
+#include "tt/neighbor_stats.hpp"
 
 namespace rdc::flow {
 
@@ -88,6 +91,17 @@ class Design {
   NetlistStats stats;        ///< valid iff has(Artifact::kStats)
   double error_rate = 0.0;   ///< valid iff has(Artifact::kErrorRate)
 
+  /// Which estimator produced `error_rate` (valid iff kErrorRate). The
+  /// exact passes leave `sampled` false; `error_rate:sampled` fills the
+  /// 95% confidence interval and the draws it spent.
+  struct EstimatorInfo {
+    bool sampled = false;
+    double ci_low = 0.0;
+    double ci_high = 0.0;
+    std::uint64_t samples = 0;
+  };
+  EstimatorInfo estimator;
+
   /// What the reliability assignment pass did (zeros for conventional).
   AssignmentResult assignment;
   /// True once an `assign:*` policy pass recorded its statistics (the
@@ -120,6 +134,21 @@ class Design {
   /// specification; every assignment pass starts from here.
   void reset_working() { working_ = spec_; }
 
+  // --- shared caches ------------------------------------------------------
+  // Both caches key off spec_, which is immutable for the Design's
+  // lifetime, so neither ever needs invalidation.
+
+  /// Per-output NeighborTables of the pristine spec, built on first use.
+  /// Every assign pass evaluates its metrics on the input specification
+  /// (the paper's static formulation), so one table per output serves all
+  /// of them — re-running `assign:*` no longer rebuilds the tables.
+  std::span<const NeighborTable> spec_neighbors();
+
+  /// Incremental error-rate tracker bound to spec_, created on first use.
+  /// Successive `error_rate` passes pay only for the minterms whose phase
+  /// changed since the previous evaluation (DESIGN.md §12).
+  ErrorRateTracker& error_tracker();
+
  private:
   static unsigned bit(Artifact artifact) {
     return 1u << static_cast<unsigned>(artifact);
@@ -133,6 +162,9 @@ class Design {
   Aig aig_{0};
   Netlist netlist_{0};
   unsigned valid_ = 0;
+  std::vector<NeighborTable> spec_neighbors_;
+  bool spec_neighbors_built_ = false;
+  ErrorRateTracker error_tracker_;  ///< unbound until first error_tracker()
 };
 
 /// One composable unit of flow work.

@@ -35,8 +35,17 @@ void stamp_result_metrics(Design& design) {
     metrics.set("delay_ps", design.stats.delay_ps);
     metrics.set("power_uw", design.stats.power_uw);
   }
-  if (design.has(Artifact::kErrorRate))
+  if (design.has(Artifact::kErrorRate)) {
     metrics.set("error_rate", design.error_rate);
+    // Estimator provenance only when a sampled pass ran: exact flows keep
+    // the pre-existing report schema byte-for-byte.
+    if (design.estimator.sampled) {
+      metrics.set("error_rate_estimator", "sampled");
+      metrics.set("error_rate_ci_low", design.estimator.ci_low);
+      metrics.set("error_rate_ci_high", design.estimator.ci_high);
+      metrics.set("error_rate_samples", design.estimator.samples);
+    }
+  }
 }
 
 }  // namespace

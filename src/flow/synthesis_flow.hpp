@@ -9,6 +9,7 @@
 // original specification.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "exec/budget.hpp"
@@ -75,6 +76,10 @@ struct FlowOptions {
   /// makes the flow descend the degradation ladder instead of throwing.
   /// Null inherits whatever budget the calling thread already has.
   exec::ExecBudget* budget = nullptr;
+  /// Seed for the `error_rate:sampled` pass's Rng. Every sampled pass run
+  /// re-seeds from this value, so sampled reports are byte-deterministic
+  /// for a fixed (spec, pipeline, seed) triple regardless of thread count.
+  std::uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
 };
 
 struct FlowResult {

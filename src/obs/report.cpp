@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
@@ -122,6 +123,10 @@ std::string RunReport::to_json() const {
   w.key("date").value(iso8601_utc_now());
   w.key("threads").value(std::uint64_t{ThreadPool::global().num_threads()});
   w.key("compiler").value(compiler_id());
+  // Environment section, like `threads`: which kernel backend the dispatch
+  // layer selected. The rows/counters body stays byte-identical across
+  // backends; this header key records which one actually ran.
+  w.key("simd").value(simd::backend_name(simd::active_backend()));
   w.key("wall_ms").value(static_cast<double>(trace_now_ns() - start_ns_) /
                          1e6);
   if (!meta_.empty()) {

@@ -7,6 +7,7 @@
 
 #include "obs/counters.hpp"
 #include "reliability/complexity.hpp"
+#include "reliability/error_tracker.hpp"
 #include "tt/neighbor_stats.hpp"
 
 namespace rdc {
@@ -20,8 +21,8 @@ struct RankedDc {
 
 /// Builds the ranked DC list of Fig. 3: only DCs with non-zero weight, in
 /// decreasing weight order (ties by minterm index for determinism).
-std::vector<RankedDc> ranked_dcs(const TernaryTruthTable& f) {
-  const NeighborTable neighbors(f);
+std::vector<RankedDc> ranked_dcs(const TernaryTruthTable& f,
+                                 const NeighborTable& neighbors) {
   std::vector<RankedDc> list;
   for (std::uint32_t m : f.dc_minterms()) {
     const NeighborCounts& c = neighbors.at(m);
@@ -53,8 +54,8 @@ AssignmentResult apply_prefix(TernaryTruthTable& f,
 template <typename Pass>
 AssignmentResult for_each_output(IncompleteSpec& spec, Pass pass) {
   AssignmentResult total;
-  for (auto& f : spec.outputs()) {
-    const AssignmentResult r = pass(f);
+  for (unsigned o = 0; o < spec.num_outputs(); ++o) {
+    const AssignmentResult r = pass(spec.output(o), o);
     total.dc_before += r.dc_before;
     total.assigned += r.assigned;
     total.assigned_on += r.assigned_on;
@@ -65,8 +66,13 @@ AssignmentResult for_each_output(IncompleteSpec& spec, Pass pass) {
 }  // namespace
 
 AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction) {
+  return ranking_assign(f, fraction, NeighborTable(f));
+}
+
+AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction,
+                                const NeighborTable& neighbors) {
   assert(fraction >= 0.0 && fraction <= 1.0);
-  const std::vector<RankedDc> list = ranked_dcs(f);
+  const std::vector<RankedDc> list = ranked_dcs(f, neighbors);
   // Fig. 3 assigns indices 0 .. fraction * DC_List.length.
   const auto count = static_cast<std::size_t>(
       std::llround(fraction * static_cast<double>(list.size())));
@@ -77,11 +83,23 @@ AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction) {
 
 AssignmentResult ranking_assign_count(TernaryTruthTable& f,
                                       std::uint32_t count) {
-  return apply_prefix(f, ranked_dcs(f), count);
+  return ranking_assign_count(f, count, NeighborTable(f));
+}
+
+AssignmentResult ranking_assign_count(TernaryTruthTable& f,
+                                      std::uint32_t count,
+                                      const NeighborTable& neighbors) {
+  return apply_prefix(f, ranked_dcs(f, neighbors), count);
 }
 
 AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
                                             double fraction) {
+  return ranking_assign_incremental(f, fraction, NeighborTable(f));
+}
+
+AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
+                                            double fraction,
+                                            const NeighborTable& neighbors) {
   assert(fraction >= 0.0 && fraction <= 1.0);
   AssignmentResult result;
   result.dc_before = f.dc_count();
@@ -97,28 +115,17 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
     }
   };
 
-  const unsigned n = f.num_inputs();
-  std::vector<NeighborCounts> counts(f.size());
-  {
-    const NeighborTable table(f);
-    for (std::uint32_t m = 0; m < f.size(); ++m) counts[m] = table.at(m);
-  }
-  auto weight_of = [&](std::uint32_t m) {
-    const NeighborCounts& c = counts[m];
-    return c.on > c.off ? unsigned{c.on} - c.off : unsigned{c.off} - c.on;
-  };
+  NeighborhoodTracker tracker(f, neighbors);
 
   std::priority_queue<Entry> heap;
   std::size_t ranked = 0;  // nonzero-weight DCs, the ranked-list length
   for (std::uint32_t m : f.dc_minterms())
-    if (weight_of(m) != 0) {
-      heap.push({weight_of(m), m});
+    if (tracker.majority_weight(m) != 0) {
+      heap.push({tracker.majority_weight(m), m});
       ++ranked;
     }
 
-  // Budget mirrors the static variant: the ranked-list length at the start,
-  // computed from the counts already in hand (the previous version built a
-  // second NeighborTable via ranked_dcs just for this number).
+  // Budget mirrors the static variant: the ranked-list length at the start.
   const std::size_t budget = static_cast<std::size_t>(
       std::llround(fraction * static_cast<double>(ranked)));
 
@@ -127,32 +134,24 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
     const Entry top = heap.top();
     heap.pop();
     if (!f.is_dc(top.minterm)) continue;  // already assigned
-    const unsigned w = weight_of(top.minterm);
+    const unsigned w = tracker.majority_weight(top.minterm);
     if (w == 0) continue;  // majority vanished; drop per Fig. 3's filter
     if (w != top.weight) {
       heap.push({w, top.minterm});  // stale entry: reinsert with fresh weight
       continue;
     }
-    const NeighborCounts& c = counts[top.minterm];
-    const bool to_on = c.on > c.off;
+    const bool to_on = tracker.majority_on(top.minterm);
     f.set_phase(top.minterm, to_on ? Phase::kOne : Phase::kZero);
     ++assigned;
     ++result.assigned;
     if (to_on) ++result.assigned_on;
     // The assignment converts one DC neighbor of each adjacent minterm into
-    // an on/off neighbor; refresh their counts and heap entries.
-    for (unsigned j = 0; j < n; ++j) {
-      const std::uint32_t nbr = flip_bit(top.minterm, j);
-      NeighborCounts& nc = counts[nbr];
-      assert(nc.dc > 0);
-      --nc.dc;
-      if (to_on)
-        ++nc.on;
-      else
-        ++nc.off;
-      if (f.is_dc(nbr) && weight_of(nbr) != 0)
-        heap.push({weight_of(nbr), nbr});
-    }
+    // an on/off neighbor; the tracker refreshes their counts and we requeue
+    // still-unassigned neighbors whose weight became non-zero.
+    tracker.assign(top.minterm, to_on, [&](std::uint32_t nbr) {
+      if (f.is_dc(nbr) && tracker.majority_weight(nbr) != 0)
+        heap.push({tracker.majority_weight(nbr), nbr});
+    });
   }
   obs::count(obs::Counter::kDcIncrementalAssigned, result.assigned);
   return result;
@@ -160,7 +159,12 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
 
 AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
                             bool assign_balanced) {
-  const NeighborTable neighbors(f);
+  return lcf_assign(f, threshold, assign_balanced, NeighborTable(f));
+}
+
+AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
+                            bool assign_balanced,
+                            const NeighborTable& neighbors) {
   AssignmentResult result;
   result.dc_before = f.dc_count();
   // Collect decisions first so that assignments made by this pass do not
@@ -183,21 +187,48 @@ AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
 }
 
 AssignmentResult ranking_assign(IncompleteSpec& spec, double fraction) {
-  return for_each_output(
-      spec, [&](TernaryTruthTable& f) { return ranking_assign(f, fraction); });
+  return for_each_output(spec, [&](TernaryTruthTable& f, unsigned) {
+    return ranking_assign(f, fraction);
+  });
+}
+
+AssignmentResult ranking_assign(IncompleteSpec& spec, double fraction,
+                                std::span<const NeighborTable> tables) {
+  assert(tables.size() == spec.num_outputs());
+  return for_each_output(spec, [&](TernaryTruthTable& f, unsigned o) {
+    return ranking_assign(f, fraction, tables[o]);
+  });
 }
 
 AssignmentResult ranking_assign_incremental(IncompleteSpec& spec,
                                             double fraction) {
-  return for_each_output(spec, [&](TernaryTruthTable& f) {
+  return for_each_output(spec, [&](TernaryTruthTable& f, unsigned) {
     return ranking_assign_incremental(f, fraction);
+  });
+}
+
+AssignmentResult ranking_assign_incremental(
+    IncompleteSpec& spec, double fraction,
+    std::span<const NeighborTable> tables) {
+  assert(tables.size() == spec.num_outputs());
+  return for_each_output(spec, [&](TernaryTruthTable& f, unsigned o) {
+    return ranking_assign_incremental(f, fraction, tables[o]);
   });
 }
 
 AssignmentResult lcf_assign(IncompleteSpec& spec, double threshold,
                             bool assign_balanced) {
-  return for_each_output(spec, [&](TernaryTruthTable& f) {
+  return for_each_output(spec, [&](TernaryTruthTable& f, unsigned) {
     return lcf_assign(f, threshold, assign_balanced);
+  });
+}
+
+AssignmentResult lcf_assign(IncompleteSpec& spec, double threshold,
+                            bool assign_balanced,
+                            std::span<const NeighborTable> tables) {
+  assert(tables.size() == spec.num_outputs());
+  return for_each_output(spec, [&](TernaryTruthTable& f, unsigned o) {
+    return lcf_assign(f, threshold, assign_balanced, tables[o]);
   });
 }
 

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tt/incomplete_spec.hpp"
+#include "tt/neighbor_stats.hpp"
 #include "tt/ternary_function.hpp"
 
 namespace rdc {
@@ -37,10 +39,22 @@ struct AssignmentResult {
 AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction);
 
 /// Incremental variant (ablation B): neighbor counts are updated after every
-/// individual assignment, so earlier assignments can create or destroy
-/// majorities for later ones.
+/// individual assignment (via NeighborhoodTracker), so earlier assignments
+/// can create or destroy majorities for later ones.
 AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
                                             double fraction);
+
+// Table-reusing overloads: identical semantics, but seeded from an
+// already-built NeighborTable of `f` instead of rebuilding one. All
+// algorithms evaluate their neighbor metrics on the *input* specification
+// (the paper's static formulation), so a table cached for the pristine spec
+// stays valid for every such pass — the flow layer builds the per-output
+// tables once per Design and hands them to each assign pass.
+AssignmentResult ranking_assign(TernaryTruthTable& f, double fraction,
+                                const NeighborTable& neighbors);
+AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
+                                            double fraction,
+                                            const NeighborTable& neighbors);
 
 /// Complexity-factor-based DC assignment (paper Fig. 7).
 ///
@@ -55,19 +69,34 @@ AssignmentResult ranking_assign_incremental(TernaryTruthTable& f,
 /// (compare with bench_ablation_ties).
 AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
                             bool assign_balanced = false);
+AssignmentResult lcf_assign(TernaryTruthTable& f, double threshold,
+                            bool assign_balanced,
+                            const NeighborTable& neighbors);
 
 /// Assigns exactly `count` DCs by rank (used for the paper's Table-2
 /// protocol of comparing ranking-based to LC^f-based at equal fractions).
 AssignmentResult ranking_assign_count(TernaryTruthTable& f,
                                       std::uint32_t count);
+AssignmentResult ranking_assign_count(TernaryTruthTable& f,
+                                      std::uint32_t count,
+                                      const NeighborTable& neighbors);
 
 /// Multi-output wrappers: apply the pass to every output independently and
-/// accumulate the counters.
+/// accumulate the counters. The span overloads reuse one prebuilt
+/// NeighborTable per output (tables.size() must equal num_outputs()).
 AssignmentResult ranking_assign(IncompleteSpec& spec, double fraction);
+AssignmentResult ranking_assign(IncompleteSpec& spec, double fraction,
+                                std::span<const NeighborTable> tables);
 AssignmentResult ranking_assign_incremental(IncompleteSpec& spec,
                                             double fraction);
+AssignmentResult ranking_assign_incremental(
+    IncompleteSpec& spec, double fraction,
+    std::span<const NeighborTable> tables);
 AssignmentResult lcf_assign(IncompleteSpec& spec, double threshold,
                             bool assign_balanced = false);
+AssignmentResult lcf_assign(IncompleteSpec& spec, double threshold,
+                            bool assign_balanced,
+                            std::span<const NeighborTable> tables);
 
 /// Assigns every remaining DC of `f` to the phase indicated by a
 /// completely specified reference implementation (used to realize

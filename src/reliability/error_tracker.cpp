@@ -1,0 +1,115 @@
+#include "reliability/error_tracker.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/simd.hpp"
+#include "obs/counters.hpp"
+
+namespace rdc {
+
+ErrorRateTracker::ErrorRateTracker(const IncompleteSpec& spec)
+    : num_inputs_(spec.num_inputs()), bound_(true) {
+  outputs_.reserve(spec.num_outputs());
+  for (const TernaryTruthTable& f : spec.outputs()) {
+    OutputState state;
+    state.care = f.care_bits();
+    outputs_.push_back(std::move(state));
+  }
+}
+
+void ErrorRateTracker::full_sync(OutputState& state, const BitVec& on) {
+  obs::count(obs::Counter::kErrorTrackerSyncs);
+  state.on = on;
+  std::uint64_t propagating = 0;
+  for (unsigned j = 0; j < num_inputs_; ++j)
+    propagating += simd::popcount_shiftxor_and(on.data(), state.care.data(),
+                                               on.num_words(), j);
+  state.propagating = propagating;
+  state.have_snapshot = true;
+}
+
+void ErrorRateTracker::reconcile(OutputState& state, const BitVec& on) {
+  // Replays the flipped minterms one at a time against the snapshot: when
+  // minterm m changes value, the propagation predicate value(m) != value(u)
+  // toggles for each of its n neighbors u, so the 2n events (m, j) and
+  // (u, j) flip between propagating and masked — weighted by which of the
+  // two sources lies in the care set. Each flip's delta is evaluated on the
+  // snapshot state with all earlier flips applied, which makes the replay
+  // order-independent and exact.
+  const unsigned n = num_inputs_;
+  std::uint64_t propagating = state.propagating;
+  BitVec& snapshot = state.on;
+  const std::uint64_t* current = on.data();
+  for (std::size_t w = 0; w < snapshot.num_words(); ++w) {
+    std::uint64_t diff = snapshot.word(w) ^ current[w];
+    while (diff != 0) {
+      const unsigned tz = static_cast<unsigned>(std::countr_zero(diff));
+      diff &= diff - 1;
+      const auto m = static_cast<std::uint32_t>((w << 6) | tz);
+      obs::count(obs::Counter::kErrorTrackerFlips);
+      const bool value = snapshot.get(m);
+      for (unsigned j = 0; j < n; ++j) {
+        const std::uint32_t u = flip_bit(m, j);
+        const auto weight =
+            static_cast<std::uint64_t>(state.care.get(m)) + state.care.get(u);
+        if (value != snapshot.get(u))
+          propagating -= weight;
+        else
+          propagating += weight;
+      }
+      snapshot.set(m, !value);
+    }
+  }
+  state.propagating = propagating;
+}
+
+double ErrorRateTracker::update(const IncompleteSpec& implementation) {
+  if (!bound_)
+    throw std::logic_error("ErrorRateTracker: update() before binding");
+  if (implementation.num_outputs() != outputs_.size())
+    throw std::invalid_argument("ErrorRateTracker: output count mismatch");
+
+  double sum = 0.0;
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    const TernaryTruthTable& f = implementation.output(static_cast<unsigned>(o));
+    if (f.num_inputs() != num_inputs_)
+      throw std::invalid_argument("ErrorRateTracker: input count mismatch");
+    if (!f.fully_specified())
+      throw std::invalid_argument(
+          "ErrorRateTracker: implementation must be completely specified");
+    OutputState& state = outputs_[o];
+    const BitVec& on = f.on_bits();
+    if (!state.have_snapshot) {
+      full_sync(state, on);
+    } else {
+      std::uint64_t flips = 0;
+      const std::uint64_t* current = on.data();
+      for (std::size_t w = 0; w < state.on.num_words(); ++w)
+        flips += std::popcount(state.on.word(w) ^ current[w]);
+      // A flip costs ~n bit probes, a resync ~n word-parallel passes over
+      // all words: reconcile while the diff is smaller than the word count.
+      if (flips > state.on.num_words())
+        full_sync(state, on);
+      else if (flips != 0)
+        reconcile(state, on);
+    }
+    // Same normalization and summation order as exact_error_rate, so the
+    // result is bit-identical to the full recompute.
+    sum += static_cast<double>(state.propagating) /
+           (static_cast<double>(num_inputs_) * static_cast<double>(f.size()));
+  }
+  rate_ = outputs_.empty() ? 0.0 : sum / static_cast<double>(outputs_.size());
+  return rate_;
+}
+
+NeighborhoodTracker::NeighborhoodTracker(const TernaryTruthTable& f)
+    : NeighborhoodTracker(f, NeighborTable(f)) {}
+
+NeighborhoodTracker::NeighborhoodTracker(const TernaryTruthTable& f,
+                                         const NeighborTable& table)
+    : num_inputs_(f.num_inputs()), counts_(f.size()) {
+  for (std::uint32_t m = 0; m < f.size(); ++m) counts_[m] = table.at(m);
+}
+
+}  // namespace rdc

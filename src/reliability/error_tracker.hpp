@@ -1,0 +1,136 @@
+// Incremental maintenance of reliability metrics across pipeline stages.
+//
+// The paper's assignment heuristics and the flow's analyze passes
+// re-evaluate reliability after individual DC assignments — a usage pattern
+// where full Θ(n·2^n) recomputation is pure waste: flipping the
+// implementation value of one minterm m only toggles the propagation
+// predicate of the 2n events inside m's 1-Hamming-ball. Two trackers
+// exploit that locality:
+//
+//  * ErrorRateTracker maintains the exact propagating-event count of an
+//    implementation against a fixed specification. It reconciles by
+//    diffing a snapshot of the implementation's on-bits against the
+//    current bits, so it needs no cooperation (no flip notifications)
+//    from the passes that mutate the design: each update() costs O(n) per
+//    flipped minterm, falling back to a full word-parallel resync when
+//    the diff is large enough that recomputation is cheaper. Counts are
+//    exact integers, so the resulting rate is bit-identical to
+//    exact_error_rate at every step.
+//
+//  * NeighborhoodTracker generalizes the delta-update machinery that lived
+//    inside ranking_assign_incremental: per-minterm NeighborCounts kept
+//    current as DCs are assigned, each assignment updating only the n
+//    adjacent counts.
+//
+// Invalidation contract (DESIGN.md §12): a tracker is bound to one spec's
+// care sets and one implementation's storage layout (num_inputs, output
+// count). It must be rebuilt — not updated — when the spec itself changes
+// (a new Design, or Design::reset_working() replacing outputs wholesale);
+// within one pipeline run the spec is immutable, so Design owns one
+// tracker and reuses it across every produced(kCovers) stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "tt/incomplete_spec.hpp"
+#include "tt/neighbor_stats.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+
+/// Maintains the exact error rate of a (fully specified) implementation
+/// against the care sets of a fixed specification, reconciling by snapshot
+/// diff instead of recomputing from scratch.
+class ErrorRateTracker {
+ public:
+  ErrorRateTracker() = default;
+
+  /// Binds the tracker to `spec`'s care sets. The first update() performs
+  /// a full sync per output.
+  explicit ErrorRateTracker(const IncompleteSpec& spec);
+
+  bool bound() const { return bound_; }
+
+  /// Brings the tracker in sync with `implementation` (same shape as the
+  /// bound spec, every output fully specified) and returns the exact mean
+  /// per-output error rate — bit-identical to
+  /// exact_error_rate(implementation, spec). Outputs whose on-bits diff in
+  /// more minterms than the word-parallel resync would touch words are
+  /// recomputed wholesale; everything else is reconciled with O(n) work
+  /// per flipped minterm.
+  double update(const IncompleteSpec& implementation);
+
+  /// The rate computed by the last update().
+  double rate() const { return rate_; }
+
+ private:
+  struct OutputState {
+    BitVec care;                    ///< spec care set (fixed)
+    BitVec on;                      ///< snapshot of implementation on-bits
+    std::uint64_t propagating = 0;  ///< events propagating through snapshot
+    bool have_snapshot = false;
+  };
+
+  void full_sync(OutputState& state, const BitVec& on);
+  void reconcile(OutputState& state, const BitVec& on);
+
+  unsigned num_inputs_ = 0;
+  bool bound_ = false;
+  double rate_ = 0.0;
+  std::vector<OutputState> outputs_;
+};
+
+/// Per-minterm neighbor counts kept current as DC minterms get assigned —
+/// the incremental core of ranking_assign_incremental, reusable by any
+/// pass that assigns DCs one at a time.
+class NeighborhoodTracker {
+ public:
+  /// Builds the counts from scratch (one word-parallel NeighborTable).
+  explicit NeighborhoodTracker(const TernaryTruthTable& f);
+
+  /// Seeds the counts from an already-built table of the same function,
+  /// skipping the rebuild (the pass-level caches hand these in).
+  NeighborhoodTracker(const TernaryTruthTable& f, const NeighborTable& table);
+
+  const NeighborCounts& at(std::uint32_t minterm) const {
+    return counts_[minterm];
+  }
+
+  /// |on-neighbors - off-neighbors| — the Fig. 3 ranking weight.
+  unsigned majority_weight(std::uint32_t minterm) const {
+    const NeighborCounts& c = counts_[minterm];
+    return c.on > c.off ? unsigned{c.on} - c.off : unsigned{c.off} - c.on;
+  }
+
+  bool majority_on(std::uint32_t minterm) const {
+    const NeighborCounts& c = counts_[minterm];
+    return c.on > c.off;
+  }
+
+  /// Records that DC minterm `minterm` was assigned (to the on-set iff
+  /// `to_on`): each of its n neighbors trades one DC neighbor for an
+  /// on/off neighbor. Calls `on_neighbor(nbr)` after updating each count.
+  template <typename Fn>
+  void assign(std::uint32_t minterm, bool to_on, Fn&& on_neighbor) {
+    for (unsigned j = 0; j < num_inputs_; ++j) {
+      const std::uint32_t nbr = flip_bit(minterm, j);
+      NeighborCounts& c = counts_[nbr];
+      --c.dc;
+      if (to_on)
+        ++c.on;
+      else
+        ++c.off;
+      on_neighbor(nbr);
+    }
+  }
+
+  unsigned num_inputs() const { return num_inputs_; }
+
+ private:
+  unsigned num_inputs_ = 0;
+  std::vector<NeighborCounts> counts_;
+};
+
+}  // namespace rdc

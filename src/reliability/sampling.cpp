@@ -1,5 +1,7 @@
 #include "reliability/sampling.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -8,6 +10,20 @@
 
 namespace rdc {
 namespace {
+
+/// Two-sided 95% normal quantile (z such that P(|Z| <= z) = 0.95).
+constexpr double kZ95 = 1.959963984540054;
+
+SampledRate with_ci(double rate, double variance, std::uint64_t samples) {
+  SampledRate out;
+  out.rate = rate;
+  out.variance = variance;
+  const double half = kZ95 * std::sqrt(std::max(variance, 0.0));
+  out.ci_low = std::clamp(rate - half, 0.0, 1.0);
+  out.ci_high = std::clamp(rate + half, 0.0, 1.0);
+  out.samples = samples;
+  return out;
+}
 
 /// All n-bit masks with exactly k bits set (Gosper's hack).
 std::vector<std::uint32_t> k_subsets(unsigned n, unsigned k) {
@@ -123,6 +139,81 @@ double sampled_error_rate(const IncompleteSpec& implementation,
       [&](const TernaryTruthTable& i, const TernaryTruthTable& s) {
         return sampled_error_rate(i, s, k, samples, rng);
       });
+}
+
+SampledRate sampled_error_rate_ci(const TernaryTruthTable& implementation,
+                                  const TernaryTruthTable& spec, unsigned k,
+                                  std::uint64_t samples, Rng& rng) {
+  check_pair(implementation, spec, k);
+  if (samples == 0) return SampledRate{};
+  const unsigned n = spec.num_inputs();
+
+  if (k == 1) {
+    // Stratified by pin: stratum j estimates p_j, the fraction of sources
+    // whose value flips with pin j; the exact rate is (1/n) * sum p_j, so
+    // the uniform-weight stratified estimator is unbiased and its variance
+    // is the weighted sum of the per-stratum binomial variances.
+    double sum_p = 0.0;
+    double sum_var = 0.0;
+    std::uint64_t spent = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      const std::uint64_t draws =
+          std::max<std::uint64_t>(1, samples / n + (j < samples % n ? 1 : 0));
+      std::uint64_t hits = 0;
+      for (std::uint64_t s = 0; s < draws; ++s) {
+        const auto m = static_cast<std::uint32_t>(rng.below(spec.size()));
+        if (!spec.is_care(m)) continue;
+        if (implementation.is_on(m) != implementation.is_on(flip_bit(m, j)))
+          ++hits;
+      }
+      const double p = static_cast<double>(hits) / static_cast<double>(draws);
+      sum_p += p;
+      sum_var += p * (1.0 - p) / static_cast<double>(draws);
+      spent += draws;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    return with_ci(sum_p * inv_n, sum_var * inv_n * inv_n, spent);
+  }
+
+  // k > 1: unstratified (source, uniform k-subset) draws — one binomial.
+  unsigned pins[32];
+  std::uint64_t hits = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto m = static_cast<std::uint32_t>(rng.below(spec.size()));
+    if (!spec.is_care(m)) continue;
+    for (unsigned j = 0; j < n; ++j) pins[j] = j;
+    std::uint32_t mask = 0;
+    for (unsigned j = 0; j < k; ++j) {
+      const auto pick = j + static_cast<unsigned>(rng.below(n - j));
+      std::swap(pins[j], pins[pick]);
+      mask |= 1u << pins[j];
+    }
+    if (implementation.is_on(m) != implementation.is_on(m ^ mask)) ++hits;
+  }
+  const double p = static_cast<double>(hits) / static_cast<double>(samples);
+  return with_ci(p, p * (1.0 - p) / static_cast<double>(samples), samples);
+}
+
+SampledRate sampled_error_rate_ci(const IncompleteSpec& implementation,
+                                  const IncompleteSpec& spec, unsigned k,
+                                  std::uint64_t samples, Rng& rng) {
+  if (implementation.num_outputs() != spec.num_outputs())
+    throw std::invalid_argument("error rate: output count mismatch");
+  const unsigned m = spec.num_outputs();
+  if (m == 0) return SampledRate{};
+  double sum_rate = 0.0;
+  double sum_var = 0.0;
+  std::uint64_t spent = 0;
+  for (unsigned o = 0; o < m; ++o) {
+    const SampledRate r = sampled_error_rate_ci(implementation.output(o),
+                                                spec.output(o), k, samples,
+                                                rng);
+    sum_rate += r.rate;
+    sum_var += r.variance;
+    spent += r.samples;
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  return with_ci(sum_rate * inv_m, sum_var * inv_m * inv_m, spent);
 }
 
 }  // namespace rdc

@@ -39,4 +39,34 @@ double sampled_error_rate(const IncompleteSpec& implementation,
                           const IncompleteSpec& spec, unsigned k,
                           std::uint64_t samples, Rng& rng);
 
+/// A sampled rate with its normal-approximation 95% confidence interval.
+struct SampledRate {
+  double rate = 0.0;      ///< point estimate
+  double variance = 0.0;  ///< estimator variance (for combining estimates)
+  double ci_low = 0.0;    ///< 95% CI lower bound, clamped to [0, 1]
+  double ci_high = 0.0;   ///< 95% CI upper bound, clamped to [0, 1]
+  std::uint64_t samples = 0;  ///< draws actually spent
+
+  double half_width() const { return (ci_high - ci_low) / 2.0; }
+};
+
+/// Monte-Carlo estimate with a 95% CI. For k = 1 the draws are stratified
+/// by pin: each pin j receives an equal share of `samples` (at least one),
+/// estimating the per-pin propagating fraction p_j; the rate is the mean of
+/// the p_j and the variance is (1/n^2) * sum p_j(1-p_j)/m_j — never worse
+/// than the unstratified estimator, and much tighter when pin sensitivities
+/// differ. For k > 1 the events (source, uniform k-subset) are drawn
+/// unstratified, matching sampled_error_rate's model. DC sources count as
+/// non-propagating (they never occur in practice, per the error model).
+SampledRate sampled_error_rate_ci(const TernaryTruthTable& implementation,
+                                  const TernaryTruthTable& spec, unsigned k,
+                                  std::uint64_t samples, Rng& rng);
+
+/// Multi-output form: mean of per-output estimates; the variances combine
+/// as (1/m^2) * sum var_o (independent draws), so the CI tightens with the
+/// output count like the rate itself.
+SampledRate sampled_error_rate_ci(const IncompleteSpec& implementation,
+                                  const IncompleteSpec& spec, unsigned k,
+                                  std::uint64_t samples, Rng& rng);
+
 }  // namespace rdc

@@ -698,5 +698,115 @@ TEST(PipelineBatch, IsolatesPerCircuitFailures) {
   EXPECT_NE(rows->array[0].find("gates"), nullptr);
 }
 
+// --- sampled error-rate pass ----------------------------------------------
+
+TEST(PipelineSampled, ParsesValidatesAndRoundTrips) {
+  // Canonical form: the default budget (1e6 draws) renders bare; explicit
+  // non-default counts round-trip; scientific notation is accepted.
+  EXPECT_EQ(parse_ok("error_rate:sampled").to_string(), "error_rate:sampled");
+  EXPECT_EQ(parse_ok("error_rate:sampled(1000000)").to_string(),
+            "error_rate:sampled");
+  EXPECT_EQ(parse_ok("error_rate:sampled(1e6)").to_string(),
+            "error_rate:sampled");
+  EXPECT_EQ(parse_ok("error_rate:sampled(5000)").to_string(),
+            "error_rate:sampled(5000)");
+  EXPECT_EQ(parse_ok(parse_ok("error_rate:sampled(5000)").to_string())
+                .to_string(),
+            "error_rate:sampled(5000)");
+
+  const struct {
+    const char* spec;
+    const char* fragment;
+  } bad[] = {
+      {"error_rate:sampled(0)", "sample count in [1, 1e9]"},
+      {"error_rate:sampled(-5)", "sample count in [1, 1e9]"},
+      {"error_rate:sampled(2e9)", "sample count in [1, 1e9]"},
+      {"error_rate:sampled(1.5)", "sample count in [1, 1e9]"},
+      {"error_rate:sampled(x)", "sample count in [1, 1e9]"},
+      {"error_rate:sampled(1,2)", "at most 1 argument"},
+  };
+  for (const auto& c : bad) {
+    exec::Result<flow::Pipeline> result = flow::parse_pipeline(c.spec);
+    ASSERT_FALSE(result.ok()) << c.spec;
+    EXPECT_NE(result.status().message().find(c.fragment), std::string::npos)
+        << c.spec << " -> " << result.status().message();
+  }
+}
+
+TEST(PipelineSampled, StampsEstimatorMetricsIntoTheReport) {
+  flow::Design design(builtin_spec());
+  ASSERT_TRUE(parse_ok("assign:ranking(0.5) | espresso | factor | aig | "
+                       "map:power | analyze | error_rate:sampled(20000)")
+                  .run(design)
+                  .ok());
+  std::string error;
+  const auto parsed = obs::parse_json(design.report.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const obs::JsonValue* metrics = parsed->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("error_rate_estimator")->string, "sampled");
+  ASSERT_NE(metrics->find("error_rate_ci_low"), nullptr);
+  ASSERT_NE(metrics->find("error_rate_ci_high"), nullptr);
+  const double rate = metrics->find("error_rate")->number;
+  EXPECT_LE(metrics->find("error_rate_ci_low")->number, rate);
+  EXPECT_GE(metrics->find("error_rate_ci_high")->number, rate);
+  // Per-output draws: 2 outputs x 20000.
+  EXPECT_EQ(metrics->find("error_rate_samples")->number, 40000.0);
+}
+
+TEST(PipelineSampled, ExactPassStampsNoEstimatorKeys) {
+  // The exact estimator keeps the pre-existing report schema: no
+  // provenance keys (this is what protects the byte-for-byte goldens).
+  flow::Design design(builtin_spec());
+  ASSERT_TRUE(parse_ok("assign:ranking(0.5) | espresso | factor | aig | "
+                       "map:power | analyze | error_rate")
+                  .run(design)
+                  .ok());
+  std::string error;
+  const auto parsed = obs::parse_json(design.report.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const obs::JsonValue* metrics = parsed->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->find("error_rate"), nullptr);
+  EXPECT_EQ(metrics->find("error_rate_estimator"), nullptr);
+  EXPECT_EQ(metrics->find("error_rate_ci_low"), nullptr);
+  EXPECT_EQ(metrics->find("error_rate_samples"), nullptr);
+}
+
+TEST(PipelineSampled, SampledReportIsByteDeterministicPerSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    FlowOptions options;
+    options.sample_seed = seed;
+    flow::Design design(builtin_spec(), options);
+    EXPECT_TRUE(parse_ok("assign:ranking(0.5) | espresso | factor | aig | "
+                         "map:power | analyze | error_rate:sampled(5000)")
+                    .run(design)
+                    .ok());
+    return strip_timings(design.report.to_json());
+  };
+  // Same seed -> byte-identical report document.
+  EXPECT_EQ(run_once(42), run_once(42));
+  // The default seed is deterministic too.
+  FlowOptions defaults;
+  EXPECT_EQ(run_once(defaults.sample_seed), run_once(defaults.sample_seed));
+}
+
+TEST(PipelineSampled, RepeatedExactErrorRateReconcilesIncrementally) {
+  // Re-running assign + downstream on one Design exercises the Design's
+  // ErrorRateTracker across different working implementations; each
+  // evaluation must equal a fresh Design's from-scratch rate.
+  const IncompleteSpec spec = builtin_spec();
+  flow::Design shared(spec);
+  for (const char* fraction : {"0.25", "0.75", "0.25", "1"}) {
+    const std::string pipeline = std::string("assign:ranking(") + fraction +
+                                 ") | espresso | factor | aig | map:power | "
+                                 "analyze | error_rate";
+    ASSERT_TRUE(parse_ok(pipeline).run(shared).ok());
+    flow::Design fresh(spec);
+    ASSERT_TRUE(parse_ok(pipeline).run(fresh).ok());
+    EXPECT_EQ(shared.error_rate, fresh.error_rate) << fraction;
+  }
+}
+
 }  // namespace
 }  // namespace rdc
