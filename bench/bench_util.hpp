@@ -18,6 +18,8 @@
 #include "exec/status.hpp"
 #include "flow/synthesis_flow.hpp"
 #include "obs/counters.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
 namespace rdc::bench {
@@ -148,8 +150,11 @@ inline bool parse_args(int argc, char** argv, Options& options,
                        int& exit_code) {
   // Resolve RDC_TRACE up front: the lazy init runs on the first span, and a
   // harness whose work stays on the inline parallel_for path may execute
-  // none — the atexit trace flush must still be installed.
+  // none — the atexit trace flush must still be installed. Same story for
+  // the RDC_METRICS snapshotter and the RDC_EVENTS sink.
   obs::trace_mode();
+  obs::metrics_init_from_env();
+  obs::events_enabled();
   exit_code = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -164,8 +169,10 @@ inline bool parse_args(int argc, char** argv, Options& options,
           "                     error rows and the run continues\n"
           "  --circuits <list>  file with one .pla/.blif path per line\n"
           "                     (bench_table1 only; replaces the suite)\n"
-          "Environment: RDC_THREADS, RDC_TRACE, RDC_COUNTERS, RDC_FAULT\n"
-          "(DESIGN.md).\n",
+          "Environment: RDC_THREADS, RDC_TRACE, RDC_COUNTERS, RDC_FAULT,\n"
+          "RDC_METRICS=<path>[:interval_ms] (live metric snapshots),\n"
+          "RDC_EVENTS=<path> (rdc.events.v1 lifecycle log),\n"
+          "RDC_PERF=1 (hardware counters on spans/passes) — see DESIGN.md.\n",
           argv[0]);
       return false;
     }

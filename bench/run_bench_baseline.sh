@@ -5,8 +5,10 @@
 #
 # The artifact is an rdc.bench.report.v1 document (bench_micro --json):
 # alongside the per-benchmark rows it records the run metadata — git
-# revision, UTC date, thread count, and compiler — so a snapshot is
-# attributable to the commit and machine configuration that produced it.
+# revision, UTC date, thread count, compiler, and host context (CPU
+# model, core count, selected SIMD backend) — so a snapshot is
+# attributable to the commit and machine that produced it, and a
+# rdc_perf_diff verdict can be sanity-checked against hardware drift.
 #
 # Usage: bench/run_bench_baseline.sh [build-dir] [output-json]
 # Defaults: build-dir = build, output = BENCH_kernels.json (repo root).
@@ -47,7 +49,10 @@ import sys
 
 with open(sys.argv[1]) as fh:
     data = json.load(fh)
-meta = {k: data[k] for k in ("git_rev", "date", "threads", "compiler")}
+meta = {k: data[k]
+        for k in ("git_rev", "date", "threads", "compiler", "cpu", "cores",
+                  "simd")
+        if k in data}
 print("\nrun metadata:", ", ".join(f"{k}={v}" for k, v in meta.items()))
 times = {row["name"]: row["real_time"] for row in data["rows"]}
 print("word-parallel speedup over scalar reference:")

@@ -11,7 +11,10 @@
 # smoke: a
 # bench_table1 run over a circuit list containing a malformed BLIF and a
 # deadline-busting circuit, plus an RDC_FAULT espresso failure — both must
-# complete with error rows, not abort.
+# complete with error rows, not abort. A telemetry smoke validates the
+# RDC_METRICS snapshotter, the RDC_EVENTS lifecycle log, and RDC_PERF
+# degradation, and the rdc_perf_diff gate self-checks on the committed
+# bench baseline plus a synthetic regression fixture that must fail.
 #
 # Usage: scripts/check.sh [--no-sanitizers]
 set -euo pipefail
@@ -169,6 +172,66 @@ grep -qF '"status": "OK"' "$smoke_dir/faults2.json" || {
 grep -qF '"status": "FAULT_INJECTED"' "$smoke_dir/faults2.json" || {
   echo "fault smoke B: missing FAULT_INJECTED row" >&2; exit 1
 }
+
+echo
+echo "== telemetry smoke: live metrics + event log + perf spans =="
+# One traced pipeline run with every telemetry sink armed: the metrics
+# snapshotter must leave a complete final rdc.metrics.v1 document (no torn
+# .tmp), the event log must be a valid rdc.events.v1 stream containing the
+# pipeline lifecycle, and RDC_PERF=1 must either report hardware counters
+# or degrade to wall-time-only — never fail the run.
+RDC_PERF=1 \
+RDC_METRICS="$smoke_dir/metrics.json:50" \
+RDC_EVENTS="$smoke_dir/events.jsonl" \
+  ./build/examples/rdcsyn_cli synth examples/fixtures/builtin.pla \
+  --json "$smoke_dir/telemetry_flow.json" > /dev/null
+# The recognized schema tag makes rdc_json_check enforce the full
+# rdc.metrics.v1 key set; the greps pin the process-sampler gauge and a
+# work counter (their snake.case names contain dots, so no dotted path).
+./build/tools/rdc_json_check "$smoke_dir/metrics.json"
+grep -q '"process.rss_bytes"' "$smoke_dir/metrics.json" || {
+  echo "telemetry smoke: metrics snapshot lacks process.rss_bytes" >&2
+  exit 1
+}
+grep -q '"espresso.calls"' "$smoke_dir/metrics.json" || {
+  echo "telemetry smoke: metrics snapshot lacks espresso.calls counter" >&2
+  exit 1
+}
+if [[ -e "$smoke_dir/metrics.json.tmp" ]]; then
+  echo "telemetry smoke: torn metrics snapshot (.tmp left behind)" >&2
+  exit 1
+fi
+./build/tools/rdc_json_check --events "$smoke_dir/events.jsonl"
+grep -q '"event": "pass.begin"' "$smoke_dir/events.jsonl" || {
+  echo "telemetry smoke: no pass.begin event in the log" >&2
+  cat "$smoke_dir/events.jsonl" >&2
+  exit 1
+}
+grep -q '"event": "pipeline.end"' "$smoke_dir/events.jsonl" || {
+  echo "telemetry smoke: no pipeline.end event in the log" >&2
+  exit 1
+}
+# Prometheus exposition variant of the snapshotter.
+RDC_METRICS="$smoke_dir/metrics.prom" \
+  ./build/examples/rdcsyn_cli synth examples/fixtures/builtin.pla > /dev/null
+grep -q '# TYPE rdc_process_rss_bytes gauge' "$smoke_dir/metrics.prom" || {
+  echo "telemetry smoke: no Prometheus gauge exposition" >&2
+  exit 1
+}
+
+echo
+echo "== perf-regression gate: rdc_perf_diff =="
+# Identity self-check: the committed SIMD baseline diffed against itself
+# must pass at threshold 0 (byte-deterministic comparator, strict '>').
+./build/tools/rdc_perf_diff BENCH_simd.json BENCH_simd.json --threshold 0 \
+  > /dev/null
+# Synthetic ~25% slowdown fixture must fail at the 10% noise threshold.
+if ./build/tools/rdc_perf_diff \
+     tools/fixtures/perf_diff/baseline.json \
+     tools/fixtures/perf_diff/regressed.json --threshold 10 > /dev/null; then
+  echo "perf gate: synthetic regression fixture was not flagged" >&2
+  exit 1
+fi
 
 echo
 echo "== bench smoke: SIMD kernel snapshot validates =="

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/events.hpp"
+
 #if defined(__linux__)
 #include <unistd.h>
 #endif
@@ -40,9 +42,18 @@ Status ExecBudget::trip(StatusCode code, const char* what) {
   // First trip wins; later limit failures keep reporting the first code so
   // degradation decisions are stable.
   StatusCode expected = StatusCode::kOk;
-  trip_code_.compare_exchange_strong(expected, code,
-                                     std::memory_order_acq_rel);
-  (void)what;
+  const bool first =
+      trip_code_.compare_exchange_strong(expected, code,
+                                         std::memory_order_acq_rel);
+  // Exactly one budget.trip event per budget — emitted by whichever thread
+  // won the CAS, so the event log sees each trip once even when many
+  // workers poll the same budget.
+  if (first && obs::events_enabled()) {
+    obs::Record fields;
+    fields.set("code", status_code_name(code));
+    fields.set("limit", what);
+    obs::emit_event("budget.trip", fields);
+  }
   return tripped_status();
 }
 

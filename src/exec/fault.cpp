@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/status.hpp"
+#include "obs/events.hpp"
 
 namespace rdc::exec {
 namespace {
@@ -94,11 +95,18 @@ void fault_point(const char* site) {
   if (match == nullptr) return;
   const std::uint64_t hit =
       match->hits.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (hit >= match->trigger)
+  if (hit >= match->trigger) {
+    if (obs::events_enabled()) {
+      obs::Record fields;
+      fields.set("site", site);
+      fields.set("hit", hit);
+      obs::emit_event("fault.fired", fields);
+    }
     throw StatusError(
         Status(StatusCode::kFaultInjected,
                "injected fault at '" + std::string(site) + "' (hit " +
                    std::to_string(hit) + ")"));
+  }
 }
 
 namespace testing {

@@ -7,6 +7,8 @@
 
 #include "common/thread_pool.hpp"
 #include "exec/fault.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace rdc::flow {
@@ -60,16 +62,39 @@ std::string Pipeline::to_string() const {
 }
 
 exec::Status Pipeline::run(Design& design) const {
+  // Harness-independent telemetry entry point: any pipeline run picks up
+  // RDC_METRICS without the caller having to opt in.
+  obs::metrics_init_from_env();
+  const bool events = obs::events_enabled();
+  const std::uint64_t run_start_ns = obs::trace_now_ns();
+  if (events) {
+    obs::Record fields;
+    fields.set("circuit", design.spec().name());
+    fields.set("spec", to_string());
+    obs::emit_event("pipeline.begin", fields);
+  }
+  exec::Status run_status;
   for (const auto& pass : passes_) {
     // Budget checkpoint at the pass boundary. check_now() so an expired
     // deadline is seen here, not on some 64th-stride poll deep inside the
     // pass.
     if (exec::ExecBudget* budget = exec::current_budget()) {
       exec::Status status = budget->check_now();
-      if (!status.ok()) return status.with_context("pipeline");
+      if (!status.ok()) {
+        run_status = status.with_context("pipeline");
+        break;
+      }
+    }
+    if (events) {
+      obs::Record fields;
+      fields.set("pass", pass->name());
+      fields.set("circuit", design.spec().name());
+      obs::emit_event("pass.begin", fields);
     }
     obs::Span span(pass->name());
     const std::uint64_t start_ns = obs::trace_now_ns();
+    obs::PerfCounts perf_begin;
+    if (obs::perf_collecting()) perf_begin = obs::perf_read();
     exec::Status status;
     try {
       exec::fault_point("pipeline.pass");
@@ -77,21 +102,48 @@ exec::Status Pipeline::run(Design& design) const {
     } catch (...) {
       status = exec::status_from_current_exception();
     }
+    const double wall_ms =
+        static_cast<double>(obs::trace_now_ns() - start_ns) / 1e6;
+    obs::PerfCounts perf;
+    if (perf_begin.valid) perf = obs::perf_delta(perf_begin, obs::perf_read());
     if (const char* label = pass->phase()) {
-      const double wall_ms =
-          static_cast<double>(obs::trace_now_ns() - start_ns) / 1e6;
       auto& phases = design.report.phases;
       // Adjacent passes of one family (factor/aig/balance/resyn →
       // "factor_aig") coalesce into a single report row.
-      if (!phases.empty() && std::strcmp(phases.back().name, label) == 0)
+      if (!phases.empty() && std::strcmp(phases.back().name, label) == 0) {
         phases.back().wall_ms += wall_ms;
-      else
-        phases.push_back({label, wall_ms});
+        phases.back().perf += perf;
+      } else {
+        phases.push_back({label, wall_ms, perf});
+      }
     }
-    if (!status.ok()) return status.with_context(pass->name());
+    if (events) {
+      obs::Record fields;
+      fields.set("pass", pass->name());
+      fields.set("circuit", design.spec().name());
+      fields.set("status", exec::status_code_name(status.code()));
+      fields.set("wall_ms", wall_ms);
+      if (perf.valid) {
+        fields.set("cycles", perf.cycles);
+        fields.set("ipc", perf.ipc());
+      }
+      obs::emit_event("pass.end", fields);
+    }
+    if (!status.ok()) {
+      run_status = status.with_context(pass->name());
+      break;
+    }
   }
-  stamp_result_metrics(design);
-  return {};
+  if (run_status.ok()) stamp_result_metrics(design);
+  if (events) {
+    obs::Record fields;
+    fields.set("circuit", design.spec().name());
+    fields.set("status", exec::status_code_name(run_status.code()));
+    fields.set("wall_ms",
+               static_cast<double>(obs::trace_now_ns() - run_start_ns) / 1e6);
+    obs::emit_event("pipeline.end", fields);
+  }
+  return run_status;
 }
 
 // --- spec parser ----------------------------------------------------------

@@ -7,6 +7,7 @@
 
 #include "exec/fault.hpp"
 #include "flow/pipeline.hpp"
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 
 namespace rdc {
@@ -100,6 +101,13 @@ void finalize(FlowResult& result, const IncompleteSpec& spec, DcPolicy policy,
   metrics.set("degradation", degradation_level_name(level));
   if (level != DegradationLevel::kNone && !reason.ok())
     metrics.set("degraded_reason", reason.to_string());
+  if (level != DegradationLevel::kNone && obs::events_enabled()) {
+    obs::Record fields;
+    fields.set("circuit", spec.name());
+    fields.set("level", degradation_level_name(level));
+    if (!reason.ok()) fields.set("reason", reason.to_string());
+    obs::emit_event("flow.degrade", fields);
+  }
 }
 
 FlowResult make_partial(const IncompleteSpec& spec) {

@@ -22,9 +22,14 @@ std::string JsonWriter::quoted(std::string_view raw) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Escape every control character: C0 as RFC 8259 requires, plus
+        // DEL — raw control bytes in span/thread names broke downstream
+        // Chrome-trace consumers (fuzz-derived corpus case).
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) == 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out.push_back(c);
@@ -43,7 +48,12 @@ void JsonWriter::prepare_for_value() {
   if (stack_.empty()) return;
   Level& level = stack_.back();
   if (level.has_element) out_.push_back(',');
+  const bool had_element = level.has_element;
   level.has_element = true;
+  if (compact_) {
+    if (had_element) out_.push_back(' ');
+    return;
+  }
   out_.push_back('\n');
   out_.append(2 * stack_.size(), ' ');
 }
@@ -57,7 +67,7 @@ void JsonWriter::open(char bracket) {
 void JsonWriter::close(char bracket) {
   const bool had_elements = !stack_.empty() && stack_.back().has_element;
   stack_.pop_back();
-  if (had_elements) {
+  if (had_elements && !compact_) {
     out_.push_back('\n');
     out_.append(2 * stack_.size(), ' ');
   }

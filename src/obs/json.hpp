@@ -15,13 +15,18 @@
 
 namespace rdc::obs {
 
-/// Streaming JSON writer with two-space pretty printing. Commas and
+/// Streaming JSON writer with two-space pretty printing (or single-line
+/// compact output for JSONL sinks like the rdc.events.v1 log). Commas and
 /// newlines are managed by a nesting stack, so callers only describe
 /// structure: begin_object / key / value / end_object. Numbers are written
 /// with std::to_chars, so doubles round-trip exactly and the output is
 /// byte-deterministic for identical inputs.
 class JsonWriter {
  public:
+  JsonWriter() = default;
+  /// compact=true suppresses newlines and indentation ({"a": 1, "b": 2}).
+  explicit JsonWriter(bool compact) : compact_(compact) {}
+
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();
@@ -66,6 +71,7 @@ class JsonWriter {
   std::string out_;
   std::vector<Level> stack_;
   bool after_key_ = false;
+  bool compact_ = false;
 };
 
 /// Parsed JSON document. Object members keep their source order, so a

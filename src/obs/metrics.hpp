@@ -1,0 +1,124 @@
+// Live telemetry: a registry of typed gauges layered over the sharded
+// counters/histograms, point-in-time snapshots serialized as
+// byte-deterministic rdc.metrics.v1 JSON or Prometheus text exposition,
+// and a background snapshotter thread for continuous exposition.
+//
+// The existing obs counters/histograms are monotonic work accumulators;
+// gauges add the "current level" dimension (resident set size, CPU time,
+// queue depths). A gauge is either *pushed* (set_gauge stores the latest
+// value) or *pulled* (a callback sampled at snapshot time); the built-in
+// process sampler registers pull gauges for RSS, VM size, user/system CPU
+// seconds, and minor/major page faults from /proc/self/statm + getrusage.
+//
+// Snapshot semantics: MetricsRegistry::snapshot() captures every gauge,
+// counter, and histogram at one point in time into a plain-data Snapshot.
+// Serialization is a pure function of that captured state — two to_json()
+// calls on one Snapshot are byte-identical, the gauge/counter/histogram
+// body for a given process state is byte-identical across RDC_THREADS,
+// and the run-varying context (`seq`, `ts`, `uptime_ms`) is confined to
+// the documented header keys, which is what "deterministic modulo
+// timestamps" means for this schema.
+//
+// Continuous exposition: RDC_METRICS=<path>[:interval_ms] starts a
+// background thread writing a fresh snapshot to <path> every interval
+// (default 1000 ms; 0 = single snapshot at process exit). Writes go to
+// <path>.tmp followed by an atomic rename, so a reader (or a crash) never
+// observes a torn document; the final snapshot on shutdown flushes
+// whatever the last interval missed. A path ending in ".prom" switches
+// the format to Prometheus text exposition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace rdc::obs {
+
+/// Point-in-time capture of the whole metrics surface. Plain data;
+/// serializers are const and deterministic.
+struct Snapshot {
+  struct Gauge {
+    std::string name;  ///< snake.case, like counter names
+    std::string help;
+    std::string unit;  ///< "bytes", "seconds", "count", ...
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    HistoData data;
+  };
+
+  std::uint64_t seq = 0;      ///< snapshotter write index (0 = manual)
+  std::string ts;             ///< ISO 8601 UTC wall-clock stamp
+  double uptime_ms = 0.0;     ///< trace-epoch-relative steady clock
+  std::vector<Gauge> gauges;  ///< sorted by name
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // enum order
+  std::vector<Histogram> histograms;                            // enum order
+
+  /// rdc.metrics.v1 document (see file comment for determinism contract).
+  std::string to_json() const;
+  /// Prometheus text exposition (# TYPE/# HELP lines, rdc_ prefix,
+  /// cumulative histogram buckets).
+  std::string to_prometheus() const;
+};
+
+/// Process-wide gauge registry. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  /// The global registry, with the process sampler gauges pre-registered.
+  static MetricsRegistry& global();
+
+  /// Registers a pull gauge: `sample` runs at every snapshot. Re-registering
+  /// an existing name replaces its callback/metadata.
+  void register_gauge(std::string name, std::string help, std::string unit,
+                      std::function<double()> sample);
+
+  /// Push-style gauge: stores the latest value (registering the name on
+  /// first use with empty help/unit).
+  void set_gauge(const std::string& name, double value);
+
+  /// Captures gauges + counters + histograms now. `seq` is stamped 0;
+  /// the snapshotter overwrites it with its write index.
+  Snapshot snapshot() const;
+
+ private:
+  MetricsRegistry();
+
+  struct Entry {
+    std::string name, help, unit;
+    std::function<double()> sample;  ///< null for push gauges
+    double value = 0.0;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// MetricsRegistry::global().snapshot() — the one-liner callers want.
+Snapshot metrics_snapshot();
+
+/// Starts the background snapshotter if RDC_METRICS is set (idempotent;
+/// safe to call from several entry points). Also enables counters so the
+/// snapshots have a body. Harness entry points and Pipeline::run call
+/// this; library users can call it directly.
+void metrics_init_from_env();
+
+/// Programmatic snapshotter control (tests, daemons). interval_ms == 0
+/// writes only the final snapshot at stop. Calling start while running
+/// restarts with the new settings.
+void start_metrics_snapshotter(const std::string& path, int interval_ms);
+
+/// Stops the snapshotter thread after writing one final snapshot; no-op
+/// when not running. The final write uses the same tmp+rename protocol,
+/// so the last document on disk is always complete.
+void stop_metrics_snapshotter();
+
+/// Serializes a snapshot to `path` via tmp+rename; false on I/O failure.
+/// Chooses Prometheus text when the path ends in ".prom", JSON otherwise.
+bool write_snapshot_file(const Snapshot& snapshot, const std::string& path);
+
+}  // namespace rdc::obs

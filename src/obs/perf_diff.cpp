@@ -1,0 +1,155 @@
+#include "obs/perf_diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace rdc::obs {
+
+namespace {
+
+/// Extracts (name, metric, value) rows from a parsed report; returns false
+/// with a message when the document doesn't have the expected shape.
+struct BenchRow {
+  std::string name;
+  std::string metric;
+  double value = 0.0;
+};
+
+bool extract_rows(const JsonValue& doc, const char* label,
+                  std::vector<BenchRow>& out, std::string& error) {
+  if (!doc.is_object()) {
+    error = std::string(label) + ": not a JSON object";
+    return false;
+  }
+  const JsonValue* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    error = std::string(label) + ": missing \"rows\" array";
+    return false;
+  }
+  for (const JsonValue& row : rows->array) {
+    if (!row.is_object()) continue;
+    const JsonValue* name = row.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    // Benchmark rows carry "real_time"; flow/batch rows carry "wall_ms".
+    const char* metric = "real_time";
+    const JsonValue* value = row.find(metric);
+    if (value == nullptr) {
+      metric = "wall_ms";
+      value = row.find(metric);
+    }
+    if (value == nullptr || !value->is_number()) continue;
+    out.push_back({name->string, metric, value->number});
+  }
+  if (out.empty()) {
+    error = std::string(label) + ": no timed rows (need name + real_time/wall_ms)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PerfDiffResult diff_reports(const std::string& baseline_json,
+                            const std::string& candidate_json,
+                            const PerfDiffOptions& options) {
+  PerfDiffResult result;
+
+  std::string parse_error;
+  const auto baseline_doc = parse_json(baseline_json, &parse_error);
+  if (!baseline_doc) {
+    result.error = "baseline: " + parse_error;
+    return result;
+  }
+  const auto candidate_doc = parse_json(candidate_json, &parse_error);
+  if (!candidate_doc) {
+    result.error = "candidate: " + parse_error;
+    return result;
+  }
+
+  std::vector<BenchRow> baseline_rows, candidate_rows;
+  if (!extract_rows(*baseline_doc, "baseline", baseline_rows, result.error))
+    return result;
+  if (!extract_rows(*candidate_doc, "candidate", candidate_rows, result.error))
+    return result;
+  result.parse_ok = true;
+
+  const double limit = 1.0 + options.threshold_pct / 100.0;
+  std::vector<bool> candidate_matched(candidate_rows.size(), false);
+  for (const BenchRow& base : baseline_rows) {
+    const BenchRow* match = nullptr;
+    for (std::size_t i = 0; i < candidate_rows.size(); ++i) {
+      if (!candidate_matched[i] && candidate_rows[i].name == base.name) {
+        candidate_matched[i] = true;
+        match = &candidate_rows[i];
+        break;
+      }
+    }
+    if (match == nullptr) {
+      result.only_baseline.push_back(base.name);
+      continue;
+    }
+    PerfRowDiff diff;
+    diff.name = base.name;
+    diff.metric = base.metric;
+    diff.baseline = base.value;
+    diff.candidate = match->value;
+    diff.ratio = base.value > 0.0 ? match->value / base.value : 0.0;
+    // Strict comparison: ratio == limit passes, so an identity diff at
+    // threshold 0 (ratio exactly 1.0) is clean.
+    diff.regressed = base.value > 0.0 && diff.ratio > limit;
+    result.rows.push_back(std::move(diff));
+  }
+  for (std::size_t i = 0; i < candidate_rows.size(); ++i)
+    if (!candidate_matched[i])
+      result.only_candidate.push_back(candidate_rows[i].name);
+  return result;
+}
+
+std::string format_perf_diff(const PerfDiffResult& result,
+                             const PerfDiffOptions& options) {
+  std::string out;
+  char line[256];
+  if (!result.parse_ok) {
+    out = "perf-diff error: " + result.error + "\n";
+    return out;
+  }
+
+  std::vector<const PerfRowDiff*> ordered;
+  ordered.reserve(result.rows.size());
+  for (const PerfRowDiff& row : result.rows) ordered.push_back(&row);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const PerfRowDiff* a, const PerfRowDiff* b) {
+                     return a->ratio > b->ratio;
+                   });
+
+  std::size_t name_width = 4;
+  for (const PerfRowDiff* row : ordered)
+    name_width = std::max(name_width, row->name.size());
+
+  std::snprintf(line, sizeof line, "%-*s  %14s  %14s  %7s\n",
+                static_cast<int>(name_width), "name", "baseline",
+                "candidate", "ratio");
+  out += line;
+  for (const PerfRowDiff* row : ordered) {
+    std::snprintf(line, sizeof line, "%-*s  %14.4g  %14.4g  %7.3f%s\n",
+                  static_cast<int>(name_width), row->name.c_str(),
+                  row->baseline, row->candidate, row->ratio,
+                  row->regressed ? "  REGRESSED" : "");
+    out += line;
+  }
+  for (const std::string& name : result.only_baseline)
+    out += "only in baseline: " + name + "\n";
+  for (const std::string& name : result.only_candidate)
+    out += "only in candidate: " + name + "\n";
+
+  std::snprintf(line, sizeof line,
+                "%zu rows compared, %zu regression(s) at threshold %.3g%%\n",
+                result.rows.size(), result.num_regressions(),
+                options.threshold_pct);
+  out += line;
+  return out;
+}
+
+}  // namespace rdc::obs

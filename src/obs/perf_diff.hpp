@@ -1,0 +1,66 @@
+// Performance-regression comparator over rdc.bench.report.v1 documents.
+//
+// diff_reports matches rows from a baseline and a candidate report by
+// their "name" field and compares one timing metric per row ("real_time"
+// when present, falling back to "wall_ms"). A row *regresses* when
+// candidate/baseline exceeds 1 + threshold_pct/100 strictly — so a
+// threshold of 0 accepts an identity diff (ratio exactly 1.0), which is
+// the self-check scripts/check.sh runs on the committed bench artifact.
+// The threshold is the noise floor: bench timings jitter a few percent
+// run to run, so the CI gate (tools/rdc_perf_diff) defaults to 10%.
+//
+// Rows present on only one side are reported but are not regressions —
+// benchmarks get added and retired; the gate cares about matched pairs
+// getting slower. Parse/shape errors are distinct from regressions so
+// the CLI can exit 2 (unusable input) vs 1 (genuine slowdown).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rdc::obs {
+
+struct PerfDiffOptions {
+  double threshold_pct = 10.0;  ///< allowed slowdown before regression
+};
+
+/// One matched benchmark row.
+struct PerfRowDiff {
+  std::string name;
+  std::string metric;     ///< which field was compared
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double ratio = 0.0;     ///< candidate / baseline (0 when baseline == 0)
+  bool regressed = false;
+};
+
+struct PerfDiffResult {
+  bool parse_ok = false;      ///< both documents parsed and had rows arrays
+  std::string error;          ///< set when !parse_ok
+  std::vector<PerfRowDiff> rows;          ///< matched pairs, baseline order
+  std::vector<std::string> only_baseline; ///< rows missing from candidate
+  std::vector<std::string> only_candidate;
+
+  bool has_regression() const {
+    for (const PerfRowDiff& row : rows)
+      if (row.regressed) return true;
+    return false;
+  }
+  std::size_t num_regressions() const {
+    std::size_t n = 0;
+    for (const PerfRowDiff& row : rows) n += row.regressed ? 1 : 0;
+    return n;
+  }
+};
+
+/// Compares two rdc.bench.report.v1 JSON texts (see file comment).
+PerfDiffResult diff_reports(const std::string& baseline_json,
+                            const std::string& candidate_json,
+                            const PerfDiffOptions& options);
+
+/// Human-readable comparison table (one line per matched row, slowest
+/// ratio first, regressions flagged), plus unmatched-row notes.
+std::string format_perf_diff(const PerfDiffResult& result,
+                             const PerfDiffOptions& options);
+
+}  // namespace rdc::obs

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
+#include <thread>
 
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
@@ -57,6 +59,11 @@ void Record::merge(const Record& other) {
 
 void Record::write(JsonWriter& w) const {
   w.begin_object();
+  write_fields(w);
+  w.end_object();
+}
+
+void Record::write_fields(JsonWriter& w) const {
   for (const Field& field : fields_) {
     w.key(field.key);
     switch (field.kind) {
@@ -67,7 +74,6 @@ void Record::write(JsonWriter& w) const {
       case Field::Kind::kBool: w.value(field.boolean); break;
     }
   }
-  w.end_object();
 }
 
 // --- FlowReport ----------------------------------------------------------
@@ -75,6 +81,12 @@ void Record::write(JsonWriter& w) const {
 double FlowReport::total_ms() const {
   double total = 0.0;
   for (const Phase& phase : phases) total += phase.wall_ms;
+  return total;
+}
+
+PerfCounts FlowReport::perf_total() const {
+  PerfCounts total;
+  for (const Phase& phase : phases) total += phase.perf;
   return total;
 }
 
@@ -94,9 +106,27 @@ std::string FlowReport::to_json() const {
     w.begin_object();
     w.key("name").value(phase.name);
     w.key("wall_ms").value(phase.wall_ms);
+    // Hardware counters only when RDC_PERF produced them — a perf-off run
+    // (every existing golden) serializes byte-identically to before.
+    if (phase.perf.valid) {
+      w.key("cycles").value(phase.perf.cycles);
+      w.key("instructions").value(phase.perf.instructions);
+      w.key("ipc").value(phase.perf.ipc());
+    }
     w.end_object();
   }
   w.end_array();
+  if (const PerfCounts total = perf_total(); total.valid) {
+    w.key("perf").begin_object();
+    w.key("cycles").value(total.cycles);
+    w.key("instructions").value(total.instructions);
+    w.key("llc_misses").value(total.llc_misses);
+    w.key("branch_misses").value(total.branch_misses);
+    w.key("ipc").value(total.ipc());
+    w.key("llc_miss_per_kinst").value(total.llc_miss_per_kinst());
+    w.key("branch_miss_per_kinst").value(total.branch_miss_per_kinst());
+    w.end_object();
+  }
   w.key("metrics");
   metrics.write(w);
   w.end_object();
@@ -123,6 +153,12 @@ std::string RunReport::to_json() const {
   w.key("date").value(iso8601_utc_now());
   w.key("threads").value(std::uint64_t{ThreadPool::global().num_threads()});
   w.key("compiler").value(compiler_id());
+  // Host context: a perf snapshot is only comparable to another taken on
+  // similar hardware, so the header names the CPU and core count the run
+  // actually used (rdc_perf_diff users eyeball these before trusting a
+  // regression verdict).
+  w.key("cpu").value(host_cpu_model());
+  w.key("cores").value(std::uint64_t{host_core_count()});
   // Environment section, like `threads`: which kernel backend the dispatch
   // layer selected. The rows/counters body stays byte-identical across
   // backends; this header key records which one actually ran.
@@ -185,6 +221,36 @@ std::string compiler_id() {
   return "unknown";
 #endif
 }
+
+std::string host_cpu_model() {
+  if (const char* env = std::getenv("RDC_CPU_MODEL");
+      env != nullptr && *env != '\0')
+    return env;
+#if defined(__linux__)
+  std::FILE* cpuinfo = std::fopen("/proc/cpuinfo", "r");
+  if (cpuinfo != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof line, cpuinfo) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon == nullptr) continue;
+      std::string model = colon + 1;
+      while (!model.empty() && (model.front() == ' ' || model.front() == '\t'))
+        model.erase(model.begin());
+      while (!model.empty() &&
+             (model.back() == '\n' || model.back() == ' '))
+        model.pop_back();
+      std::fclose(cpuinfo);
+      if (!model.empty()) return model;
+      break;
+    }
+    std::fclose(cpuinfo);
+  }
+#endif
+  return "unknown";
+}
+
+unsigned host_core_count() { return std::thread::hardware_concurrency(); }
 
 std::string iso8601_utc_now() {
   const std::time_t now = std::time(nullptr);

@@ -46,6 +46,9 @@ class Record {
   void merge(const Record& other);
   /// Writes the fields as one JSON object.
   void write(JsonWriter& w) const;
+  /// Writes the fields as members of the writer's currently open object —
+  /// used to splice event fields after a standard header.
+  void write_fields(JsonWriter& w) const;
 
  private:
   void set_int(std::string key, std::int64_t value);
@@ -73,11 +76,18 @@ struct FlowReport {
   struct Phase {
     const char* name = nullptr;
     double wall_ms = 0.0;
+    /// Hardware counters for the phase; valid only under RDC_PERF=1 on a
+    /// host where perf_event_open works. Invalid counts serialize to
+    /// nothing, keeping the report byte-identical to a perf-off run.
+    PerfCounts perf;
   };
   std::vector<Phase> phases;
   Record metrics;
 
   double total_ms() const;
+  /// Sum of the per-phase hardware counters (invalid phases skipped);
+  /// invalid when no phase had counters.
+  PerfCounts perf_total() const;
   const Phase* find_phase(std::string_view name) const;
   std::string to_json() const;
 };
@@ -87,10 +97,14 @@ struct FlowReport {
 class PhaseScope {
  public:
   PhaseScope(FlowReport& report, const char* name)
-      : report_(report), name_(name), span_(name), start_ns_(trace_now_ns()) {}
+      : report_(report), name_(name), span_(name), start_ns_(trace_now_ns()) {
+    if (perf_collecting()) perf_begin_ = perf_read();
+  }
   ~PhaseScope() {
+    PerfCounts perf;
+    if (perf_begin_.valid) perf = perf_delta(perf_begin_, perf_read());
     report_.phases.push_back(
-        {name_, static_cast<double>(trace_now_ns() - start_ns_) / 1e6});
+        {name_, static_cast<double>(trace_now_ns() - start_ns_) / 1e6, perf});
   }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
@@ -100,6 +114,7 @@ class PhaseScope {
   const char* name_;
   Span span_;
   std::uint64_t start_ns_;
+  PerfCounts perf_begin_;
 };
 
 /// One self-describing benchmark report: metadata (suite, git revision,
@@ -138,6 +153,13 @@ std::string git_revision();
 
 /// Compiler identification string (e.g. "gcc 12.2.0").
 std::string compiler_id();
+
+/// Host CPU model from /proc/cpuinfo ("model name"), overridable with the
+/// RDC_CPU_MODEL environment variable (CI pinning); "unknown" elsewhere.
+std::string host_cpu_model();
+
+/// Hardware core count (std::thread::hardware_concurrency; 0 if unknown).
+unsigned host_core_count();
 
 /// Current UTC time, ISO 8601 ("2026-08-06T12:34:56Z").
 std::string iso8601_utc_now();

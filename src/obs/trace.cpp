@@ -116,13 +116,16 @@ int init_trace_mode_from_env() {
   return g_trace_mode.load(std::memory_order_relaxed);
 }
 
-void span_finish(const char* name, std::uint64_t start_ns) {
+void span_finish(const char* name, std::uint64_t start_ns,
+                 const PerfCounts& perf_begin) {
   const std::uint64_t end_ns = trace_now_ns();
+  PerfCounts perf;
+  if (perf_begin.valid) perf = perf_delta(perf_begin, perf_read());
   ThreadBuf& buf = thread_buf();
   --tls_depth;
   std::lock_guard<std::mutex> lock(buf.mutex);
   buf.spans.push_back(
-      {name, start_ns, end_ns - start_ns, buf.tid, tls_depth});
+      {name, start_ns, end_ns - start_ns, buf.tid, tls_depth, perf});
 }
 
 }  // namespace detail
@@ -210,6 +213,15 @@ bool write_chrome_trace(const std::string& path) {
     w.key("tid").value(std::uint64_t{span.tid});
     w.key("ts").value(static_cast<double>(span.start_ns) / 1000.0);
     w.key("dur").value(static_cast<double>(span.duration_ns) / 1000.0);
+    if (span.perf.valid) {
+      w.key("args").begin_object();
+      w.key("cycles").value(span.perf.cycles);
+      w.key("instructions").value(span.perf.instructions);
+      w.key("llc_misses").value(span.perf.llc_misses);
+      w.key("branch_misses").value(span.perf.branch_misses);
+      w.key("ipc").value(span.perf.ipc());
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -230,21 +242,31 @@ bool write_chrome_trace(const std::string& path) {
 
 void write_trace_summary(std::FILE* out) {
   const std::vector<SpanRecord> spans = drain_spans();
-  // Aggregate wall time per span name. std::map keeps the table sorted by
-  // name for ties after the by-total sort below.
-  std::map<std::string_view, std::vector<double>> by_name;
-  for (const SpanRecord& span : spans)
-    by_name[span.name].push_back(static_cast<double>(span.duration_ns) /
-                                 1e6);
+  // Aggregate wall time (and hardware counters, when collected) per span
+  // name. std::map keeps the table sorted by name for ties after the
+  // by-total sort below.
+  struct Agg {
+    std::vector<double> durations;
+    PerfCounts perf;
+  };
+  std::map<std::string_view, Agg> by_name;
+  bool any_perf = false;
+  for (const SpanRecord& span : spans) {
+    Agg& agg = by_name[span.name];
+    agg.durations.push_back(static_cast<double>(span.duration_ns) / 1e6);
+    agg.perf += span.perf;
+    any_perf = any_perf || span.perf.valid;
+  }
 
   struct Line {
     std::string_view name;
     Summary summary;
     double total_ms = 0.0;
+    PerfCounts perf;
   };
   std::vector<Line> lines;
-  for (const auto& [name, durations] : by_name) {
-    Line line{name, summarize(durations), 0.0};
+  for (const auto& [name, agg] : by_name) {
+    Line line{name, summarize(agg.durations), 0.0, agg.perf};
     line.total_ms = line.summary.mean * static_cast<double>(line.summary.count);
     lines.push_back(line);
   }
@@ -254,13 +276,28 @@ void write_trace_summary(std::FILE* out) {
                    });
 
   std::fprintf(out, "\n[rdc::obs] span summary (wall time, ms)\n");
-  std::fprintf(out, "%-24s %8s %10s %10s %10s %10s\n", "span", "count",
+  std::fprintf(out, "%-24s %8s %10s %10s %10s %10s", "span", "count",
                "total", "mean", "min", "max");
-  for (const Line& line : lines)
-    std::fprintf(out, "%-24.*s %8zu %10.3f %10.4f %10.4f %10.4f\n",
+  if (any_perf)
+    std::fprintf(out, " %12s %6s %8s %8s", "Mcycles", "ipc", "llc/ki",
+                 "br/ki");
+  std::fputc('\n', out);
+  for (const Line& line : lines) {
+    std::fprintf(out, "%-24.*s %8zu %10.3f %10.4f %10.4f %10.4f",
                  static_cast<int>(line.name.size()), line.name.data(),
                  line.summary.count, line.total_ms, line.summary.mean,
                  line.summary.min, line.summary.max);
+    if (any_perf) {
+      if (line.perf.valid)
+        std::fprintf(out, " %12.2f %6.2f %8.2f %8.2f",
+                     static_cast<double>(line.perf.cycles) / 1e6,
+                     line.perf.ipc(), line.perf.llc_miss_per_kinst(),
+                     line.perf.branch_miss_per_kinst());
+      else
+        std::fprintf(out, " %12s %6s %8s %8s", "-", "-", "-", "-");
+    }
+    std::fputc('\n', out);
+  }
   if (lines.empty()) std::fprintf(out, "(no spans recorded)\n");
 }
 

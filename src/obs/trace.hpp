@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perf.hpp"
+
 namespace rdc::obs {
 
 enum class TraceMode : int {
@@ -43,7 +45,8 @@ inline int trace_mode_raw() {
   const int mode = g_trace_mode.load(std::memory_order_relaxed);
   return mode >= 0 ? mode : init_trace_mode_from_env();
 }
-void span_finish(const char* name, std::uint64_t start_ns);
+void span_finish(const char* name, std::uint64_t start_ns,
+                 const PerfCounts& perf_begin);
 }  // namespace detail
 
 inline bool trace_enabled() { return detail::trace_mode_raw() != 0; }
@@ -66,13 +69,16 @@ std::uint32_t current_thread_id();
 void set_thread_name(std::string name);
 
 /// One completed span. `depth` is the nesting level on the owning thread
-/// at the time the span opened (0 = outermost).
+/// at the time the span opened (0 = outermost). `perf` carries the
+/// hardware-counter delta over the span when RDC_PERF collection was
+/// active and available (perf.valid), and is all-zero/invalid otherwise.
 struct SpanRecord {
   const char* name = nullptr;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
   std::uint32_t tid = 0;
   std::uint32_t depth = 0;
+  PerfCounts perf;
 };
 
 /// RAII span; see RDC_SPAN. Never allocates when tracing is off.
@@ -82,10 +88,11 @@ class Span {
     if (trace_enabled()) {
       name_ = name;
       start_ns_ = begin();
+      if (perf_collecting()) perf_begin_ = perf_read();
     }
   }
   ~Span() {
-    if (name_ != nullptr) detail::span_finish(name_, start_ns_);
+    if (name_ != nullptr) detail::span_finish(name_, start_ns_, perf_begin_);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -94,6 +101,7 @@ class Span {
   static std::uint64_t begin();  // stamps the clock, bumps nesting depth
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  PerfCounts perf_begin_;
 };
 
 #define RDC_SPAN_CONCAT_IMPL(a, b) a##b

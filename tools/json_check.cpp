@@ -4,27 +4,164 @@
 // scripts/check.sh to smoke-test the --json bench reports and the
 // RDC_TRACE Chrome trace output without requiring python.
 //
+// Documents with a recognized top-level "schema" tag are additionally
+// held to that schema's required keys (rdc.bench.report.v1,
+// rdc.flow.report.v1, rdc.metrics.v1), so a report that drifts fails CI
+// even when the caller forgot to list the keys explicitly.
+//
+// --events switches to JSONL mode for rdc.events.v1 logs: every line
+// must parse, carry the schema tag and a non-empty event name, and the
+// seq numbers must be strictly increasing (the written contract that
+// seq == physical line order).
+//
 // Usage: rdc_json_check <file> [key ...]
+//        rdc_json_check --events <file>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "obs/json.hpp"
 
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+const rdc::obs::JsonValue* lookup(const rdc::obs::JsonValue& doc,
+                                  const std::string& path) {
+  const rdc::obs::JsonValue* node = &doc;
+  std::size_t begin = 0;
+  while (node != nullptr && begin <= path.size()) {
+    const std::size_t dot = path.find('.', begin);
+    const std::string key = path.substr(
+        begin, dot == std::string::npos ? std::string::npos : dot - begin);
+    node = node->find(key);
+    if (dot == std::string::npos) break;
+    begin = dot + 1;
+  }
+  return node;
+}
+
+/// Required top-level keys per known schema tag; nullptr-terminated.
+const char* const* schema_required_keys(const std::string& schema) {
+  static const char* const kBench[] = {"suite",    "generator", "git_rev",
+                                       "date",     "threads",   "compiler",
+                                       "simd",     "wall_ms",   "rows",
+                                       "counters", nullptr};
+  static const char* const kFlow[] = {"total_ms", "phases", "metrics",
+                                      nullptr};
+  static const char* const kMetrics[] = {"seq",      "ts",
+                                         "uptime_ms", "gauges",
+                                         "counters",  "histograms", nullptr};
+  if (schema == "rdc.bench.report.v1") return kBench;
+  if (schema == "rdc.flow.report.v1") return kFlow;
+  if (schema == "rdc.metrics.v1") return kMetrics;
+  return nullptr;
+}
+
+int check_events(const char* path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "rdc_json_check: cannot read %s\n", path);
+    return 1;
+  }
+  int failures = 0;
+  std::size_t line_no = 0;
+  double last_seq = 0.0;  // seq starts at 1, so 0 is below every valid value
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    ++line_no;
+
+    std::string error;
+    const auto doc = rdc::obs::parse_json(line, &error);
+    if (!doc) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: parse error: %s\n", path,
+                   line_no, error.c_str());
+      ++failures;
+      continue;
+    }
+    const rdc::obs::JsonValue* schema = doc->find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string != "rdc.events.v1") {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: bad or missing schema\n",
+                   path, line_no);
+      ++failures;
+    }
+    const rdc::obs::JsonValue* event = doc->find("event");
+    if (event == nullptr || !event->is_string() || event->string.empty()) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: missing event name\n",
+                   path, line_no);
+      ++failures;
+    }
+    const rdc::obs::JsonValue* seq = doc->find("seq");
+    if (seq == nullptr || !seq->is_number()) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: missing seq\n", path,
+                   line_no);
+      ++failures;
+    } else {
+      if (seq->number <= last_seq) {
+        std::fprintf(stderr,
+                     "rdc_json_check: %s:%zu: seq %.0f not increasing "
+                     "(previous %.0f)\n",
+                     path, line_no, seq->number, last_seq);
+        ++failures;
+      }
+      last_seq = seq->number;
+    }
+    for (const char* required : {"ts_ns", "tid"}) {
+      const rdc::obs::JsonValue* field = doc->find(required);
+      if (field == nullptr || !field->is_number()) {
+        std::fprintf(stderr, "rdc_json_check: %s:%zu: missing %s\n", path,
+                     line_no, required);
+        ++failures;
+      }
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "rdc_json_check: %s: no event lines\n", path);
+    return 1;
+  }
+  if (failures > 0) return 1;
+  std::printf("rdc_json_check: %s ok (%zu event line%s)\n", path, line_no,
+              line_no == 1 ? "" : "s");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--events") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --events <file>\n", argv[0]);
+      return 2;
+    }
+    return check_events(argv[2]);
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file> [key ...]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <file> [key ...]\n"
+                 "       %s --events <file>\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1], std::ios::binary);
-  if (!in) {
+  std::string text;
+  if (!read_file(argv[1], text)) {
     std::fprintf(stderr, "rdc_json_check: cannot read %s\n", argv[1]);
     return 1;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
 
   std::string error;
   const auto doc = rdc::obs::parse_json(text, &error);
@@ -35,26 +172,34 @@ int main(int argc, char** argv) {
   }
 
   int missing = 0;
-  for (int i = 2; i < argc; ++i) {
-    const std::string path = argv[i];
-    const rdc::obs::JsonValue* node = &*doc;
-    std::size_t begin = 0;
-    while (node != nullptr && begin <= path.size()) {
-      const std::size_t dot = path.find('.', begin);
-      const std::string key = path.substr(
-          begin, dot == std::string::npos ? std::string::npos : dot - begin);
-      node = node->find(key);
-      if (dot == std::string::npos) break;
-      begin = dot + 1;
+  int checked = 0;
+
+  // Schema-tagged documents get their required keys enforced even when
+  // the caller listed none.
+  if (const rdc::obs::JsonValue* schema = doc->find("schema");
+      schema != nullptr && schema->is_string()) {
+    if (const char* const* required = schema_required_keys(schema->string)) {
+      for (; *required != nullptr; ++required, ++checked) {
+        if (doc->find(*required) == nullptr) {
+          std::fprintf(stderr,
+                       "rdc_json_check: %s: schema %s requires key '%s'\n",
+                       argv[1], schema->string.c_str(), *required);
+          ++missing;
+        }
+      }
     }
-    if (node == nullptr) {
+  }
+
+  for (int i = 2; i < argc; ++i, ++checked) {
+    const std::string path = argv[i];
+    if (lookup(*doc, path) == nullptr) {
       std::fprintf(stderr, "rdc_json_check: %s: missing key '%s'\n", argv[1],
                    path.c_str());
       ++missing;
     }
   }
   if (missing > 0) return 1;
-  std::printf("rdc_json_check: %s ok (%d key%s checked)\n", argv[1],
-              argc - 2, argc - 2 == 1 ? "" : "s");
+  std::printf("rdc_json_check: %s ok (%d key%s checked)\n", argv[1], checked,
+              checked == 1 ? "" : "s");
   return 0;
 }
