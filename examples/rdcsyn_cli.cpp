@@ -74,7 +74,11 @@ int usage() {
       "      decomposition with internal-DC reassignment; reports internal\n"
       "      masking before/after.\n"
       "  rdcsyn_cli cec <a.aag|a.blif> <b.aag|b.blif>\n"
-      "      SAT-based combinational equivalence check.\n");
+      "      SAT-based combinational equivalence check.\n"
+      "\n"
+      "exit codes: 0 success; 1 hard error (I/O, unexpected exception);\n"
+      "  2 usage / invalid arguments; 3 batch completed but some rows\n"
+      "  failed (the report was still written).\n");
   return 2;
 }
 
@@ -260,7 +264,10 @@ int cmd_batch(const Args& args) {
   } else {
     std::printf("%s\n", report.c_str());
   }
-  return batch.failures == 0 ? 0 : 1;
+  // Exit 3 (not the generic 1): the batch itself completed and the report
+  // was written, but some rows failed — scripts can distinguish "partial
+  // results available" from a hard error.
+  return batch.failures == 0 ? 0 : 3;
 }
 
 int cmd_synth(const Args& args) {

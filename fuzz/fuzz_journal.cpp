@@ -1,0 +1,17 @@
+// Fuzz target for the rdc.journal.v1 replayer (DESIGN.md §14). Replay is
+// the crash-recovery path, so it must digest arbitrarily damaged journals
+// — truncated tail lines, interleaved garbage, duplicate terminal records
+// — without throwing or crashing; malformed input is only ever counted.
+// Regression corpus: fuzz/corpus/journal/.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "exec/journal.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)rdc::exec::replay_journal_text(text);
+  return 0;
+}

@@ -5,7 +5,8 @@
 # by an ASan+UBSan build of the unit tests to catch memory and UB bugs the
 # release build hides (the word-parallel kernels and the thread pool are
 # exactly the kind of code sanitizers pay off on), a fuzz-corpus replay of
-# the five parser fuzz targets, a pipeline smoke (rdcsyn_cli --pipeline
+# the fuzz targets (parsers + journal replayer), a pipeline smoke
+# (rdcsyn_cli --pipeline
 # with a nondefault spec plus a batch fan-out over the examples/ fixtures,
 # reports validated with rdc_json_check), and the §10 fault-injection
 # smoke: a
@@ -15,6 +16,11 @@
 # RDC_METRICS snapshotter, the RDC_EVENTS lifecycle log, and RDC_PERF
 # degradation, and the rdc_perf_diff gate self-checks on the committed
 # bench baseline plus a synthetic regression fixture that must fail.
+# The §14 crash-safe batch smoke interrupts a chaos-armed rdc_batch run
+# mid-flight and asserts the journal-resumed report matches an
+# uninterrupted one, that worker segfaults become INTERNAL rows with
+# job.crash events, and that SIGTERM produces an orderly shutdown in both
+# the driver-owned (exit 4) and unowned-snapshotter (exit 143) paths.
 #
 # Usage: scripts/check.sh [--no-sanitizers]
 set -euo pipefail
@@ -59,7 +65,7 @@ grep -q "rdc::obs" "$smoke_dir/summary.txt" || {
 run_fuzzers() {
   local build_dir="$1"
   local target
-  for target in pla blif aiger json pipeline_spec; do
+  for target in pla blif aiger json pipeline_spec journal; do
     local bin="$build_dir/fuzz/fuzz_$target"
     local corpus="fuzz/corpus/$target"
     [[ -x "$bin" ]] || { echo "missing fuzz binary $bin" >&2; return 1; }
@@ -220,6 +226,121 @@ grep -q '# TYPE rdc_process_rss_bytes gauge' "$smoke_dir/metrics.prom" || {
 }
 
 echo
+echo "== §14 crash-safe batch smoke: chaos, retry, journaled resume =="
+# Chaos-armed reference run: kill:0.3 injects deterministic worker crashes
+# keyed by job identity; --retries 3 absorbs them. Exit 0 or 3 (row
+# failures) are both completed batches.
+batch_pipeline="assign:ranking(0.5) | espresso | factor | aig | map:power"
+chaos_run() { # <journal> <json> [extra args...]
+  local journal="$1" json="$2"
+  shift 2
+  RDC_CHAOS=kill:0.3 ./build/tools/rdc_batch examples/fixtures/*.pla \
+    --pipeline "$batch_pipeline" --retries 3 --backoff-ms 1 \
+    --journal "$journal" --json "$json" "$@" > /dev/null 2>&1
+}
+code=0; chaos_run "$smoke_dir/chaos_a.journal" "$smoke_dir/chaos_a.json" \
+  || code=$?
+[[ "$code" == 0 || "$code" == 3 ]] || {
+  echo "chaos smoke: reference run exited $code" >&2; exit 1
+}
+# Interrupt the same batch after 2 completions (exit 4: resumable), then
+# resume from its journal. The chaos decisions replay identically, so the
+# stitched report must match the uninterrupted one modulo wall-clock
+# values and attempt counts — and the journal must show every job reaching
+# exactly one terminal state (none lost, none run twice).
+code=0; chaos_run "$smoke_dir/chaos_b.journal" "$smoke_dir/chaos_b1.json" \
+  --stop-after 2 || code=$?
+[[ "$code" == 4 ]] || {
+  echo "chaos smoke: interrupted run exited $code, want 4" >&2; exit 1
+}
+code=0; chaos_run "$smoke_dir/chaos_b.journal" "$smoke_dir/chaos_b2.json" \
+  --resume || code=$?
+[[ "$code" == 0 || "$code" == 3 ]] || {
+  echo "chaos smoke: resumed run exited $code" >&2; exit 1
+}
+python3 - "$smoke_dir/chaos_a.json" "$smoke_dir/chaos_b2.json" <<'EOF'
+import json, sys
+drop = ("attempts", "wall_ms", "total_ms")
+rows = []
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        doc = json.load(f)
+    rows.append([{k: v for k, v in r.items() if k not in drop}
+                 for r in doc["rows"]])
+assert rows[0], "chaos smoke compared empty row sets"
+assert rows[0] == rows[1], "resumed report rows differ from uninterrupted run"
+EOF
+./build/tools/rdc_json_check --journal "$smoke_dir/chaos_b.journal"
+
+# A worker segfault must become an INTERNAL row plus a job.crash event
+# while the batch completes (exit 3: finished with row failures).
+code=0
+RDC_CHAOS=segv:1@1 RDC_EVENTS="$smoke_dir/chaos_events.jsonl" \
+  ./build/tools/rdc_batch examples/fixtures/*.pla \
+  --pipeline "assign:zero | espresso" \
+  --json "$smoke_dir/chaos_segv.json" > /dev/null 2>&1 || code=$?
+[[ "$code" == 3 ]] || {
+  echo "chaos smoke: segv batch exited $code, want 3" >&2; exit 1
+}
+grep -qF '"status": "INTERNAL"' "$smoke_dir/chaos_segv.json" || {
+  echo "chaos smoke: no INTERNAL row for the segfaulting workers" >&2; exit 1
+}
+grep -qF '"event": "job.crash"' "$smoke_dir/chaos_events.jsonl" || {
+  echo "chaos smoke: no job.crash event" >&2; exit 1
+}
+./build/tools/rdc_json_check --events "$smoke_dir/chaos_events.jsonl"
+
+# Transient crash + retry: every first attempt dies, every retry succeeds.
+RDC_CHAOS=kill:1@1 ./build/tools/rdc_batch examples/fixtures/builtin.pla \
+  --pipeline "assign:zero | espresso" --retries 2 --backoff-ms 1 \
+  --json "$smoke_dir/chaos_retry.json" > /dev/null 2>&1 || {
+  echo "chaos smoke: retry did not recover the killed first attempt" >&2
+  exit 1
+}
+
+echo
+echo "== §14 graceful-shutdown smoke: SIGTERM mid-batch =="
+# Driver-owned: rdc_batch claims shutdown, kills its hung workers, leaves
+# the journal resumable, and exits 4 after a process.shutdown event and a
+# final metrics snapshot.
+RDC_CHAOS=hang:1 RDC_EVENTS="$smoke_dir/term_events.jsonl" \
+RDC_METRICS="$smoke_dir/term_metrics.json:50" \
+  ./build/tools/rdc_batch examples/fixtures/*.pla \
+  --pipeline "assign:zero | espresso" --journal "$smoke_dir/term.journal" \
+  --json "$smoke_dir/term.json" > /dev/null 2>&1 & batch_pid=$!
+sleep 1
+kill -TERM "$batch_pid"
+code=0; wait "$batch_pid" || code=$?
+[[ "$code" == 4 ]] || {
+  echo "shutdown smoke: rdc_batch exited $code, want 4" >&2; exit 1
+}
+grep -qF '"event": "process.shutdown"' "$smoke_dir/term_events.jsonl" || {
+  echo "shutdown smoke: no process.shutdown event from the driver" >&2
+  exit 1
+}
+./build/tools/rdc_json_check "$smoke_dir/term_metrics.json"
+
+# Unowned: nobody claims the signal, so the metrics snapshotter flushes a
+# final snapshot plus the terminating event and re-raises — the process
+# dies with the conventional 128+15 status.
+printf '%s\n' "$smoke_dir/slow.pla" > "$smoke_dir/slow_list.txt"
+RDC_METRICS="$smoke_dir/unowned_metrics.json:50" \
+RDC_EVENTS="$smoke_dir/unowned_events.jsonl" \
+  ./build/bench/bench_table1 --circuits "$smoke_dir/slow_list.txt" \
+  > /dev/null 2>&1 & bench_pid=$!
+sleep 1
+kill -TERM "$bench_pid"
+code=0; wait "$bench_pid" || code=$?
+[[ "$code" == 143 ]] || {
+  echo "shutdown smoke: unowned run exited $code, want 143" >&2; exit 1
+}
+grep -qF '"event": "process.shutdown"' "$smoke_dir/unowned_events.jsonl" || {
+  echo "shutdown smoke: snapshotter wrote no process.shutdown event" >&2
+  exit 1
+}
+./build/tools/rdc_json_check "$smoke_dir/unowned_metrics.json"
+
+echo
 echo "== perf-regression gate: rdc_perf_diff =="
 # Identity self-check: the committed SIMD baseline diffed against itself
 # must pass at threshold 0 (byte-deterministic comparator, strict '>').
@@ -254,7 +375,7 @@ if [[ "$run_sanitizers" == "1" ]]; then
     -DRDC_ENABLE_FUZZERS=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j --target rdcsyn_tests \
-    fuzz_pla fuzz_blif fuzz_aiger fuzz_json fuzz_pipeline_spec
+    fuzz_pla fuzz_blif fuzz_aiger fuzz_json fuzz_pipeline_spec fuzz_journal
   (cd build-asan && ctest --output-on-failure -j)
   echo
   echo "== fuzz corpus replay (ASan+UBSan build) =="

@@ -1,0 +1,78 @@
+// Deterministic chaos injection for the batch supervisor (DESIGN.md §14).
+//
+// RDC_CHAOS=action:p[@attempt][,action:p[@attempt]...] arms worker-process
+// fault injection. Actions:
+//   kill — raise(SIGKILL): the worker vanishes mid-job (crash class)
+//   segv — write through a null pointer: a real segfault, not a throw
+//   oom  — allocation bomb until bad_alloc (or a 512 MiB self-cap), so the
+//          worker dies of kResourceExhausted like a genuine memory blowup
+//   hang — sleep well past any wall deadline so the parent watchdog kills
+//          the worker (kDeadlineExceeded class)
+//
+// `p` is a firing probability in [0, 1]; the optional `@attempt` suffix
+// restricts the rule to one retry attempt (1-based), which is how the
+// tests express "crash the first attempt, let the retry succeed"
+// deterministically. Decisions are a pure hash of (job key, attempt,
+// rule index) — no global RNG state — so an interrupted-and-resumed batch
+// sees exactly the same faults as an uninterrupted one, which is what
+// makes the chaos-resume smoke's report comparison byte-stable.
+//
+// The supervisor calls chaos_maybe_inject() in the forked worker, after
+// resource limits are installed and before the job body runs. The parent
+// process never injects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/status.hpp"
+
+namespace rdc::exec {
+
+enum class ChaosAction { kNone, kKill, kSegv, kOom, kHang };
+
+/// Stable lowercase name ("kill", "segv", "oom", "hang"; "none").
+const char* chaos_action_name(ChaosAction action);
+
+struct ChaosRule {
+  ChaosAction action = ChaosAction::kNone;
+  double probability = 0.0;
+  int attempt = 0;  ///< 0 = any attempt; otherwise fires only on this one
+};
+
+struct ChaosSpec {
+  std::vector<ChaosRule> rules;
+  bool armed() const { return !rules.empty(); }
+};
+
+/// Parses the RDC_CHAOS grammar. kInvalidArgument on unknown actions,
+/// probabilities outside [0, 1], or malformed rules.
+Result<ChaosSpec> parse_chaos_spec(const std::string& spec);
+
+/// True when any chaos rule is armed (environment or test override).
+bool chaos_armed();
+
+/// The deterministic decision for one (job, attempt) pair: the first rule
+/// whose attempt filter matches and whose hash draw lands under its
+/// probability wins; kNone otherwise. Pure function of its arguments and
+/// the armed spec.
+ChaosAction chaos_decide(std::uint64_t job_key, int attempt);
+
+/// Executes chaos_decide's verdict in the calling (worker) process: kill
+/// and segv do not return; oom throws (bad_alloc or a typed
+/// kResourceExhausted StatusError); hang sleeps up to 60 s, then returns
+/// so a misconfigured run without a wall deadline still terminates. No-op
+/// when the decision is kNone.
+void chaos_maybe_inject(std::uint64_t job_key, int attempt);
+
+namespace testing {
+
+/// Replaces the armed chaos spec (same grammar as RDC_CHAOS; empty
+/// disarms), overriding the environment. Not thread-safe against
+/// concurrent chaos_decide traffic.
+void set_chaos_spec(const std::string& spec);
+
+}  // namespace testing
+
+}  // namespace rdc::exec

@@ -1,0 +1,184 @@
+#include "exec/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace rdc::exec {
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool journal_state_is_terminal(std::string_view state) {
+  return state == "done" || state == "failed";
+}
+
+std::string journal_record_to_json(const JournalRecord& record) {
+  obs::JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.key("schema").value("rdc.journal.v1");
+  w.key("seq").value(record.seq);
+  w.key("ts").value(record.ts);
+  w.key("job").value(record.job);
+  w.key("name").value(record.name);
+  w.key("state").value(record.state);
+  if (record.attempt > 0) w.key("attempt").value(record.attempt);
+  if (!record.status.empty()) w.key("status").value(record.status);
+  if (!record.error.empty()) w.key("error").value(record.error);
+  // The row is embedded as a JSON *string*, not a nested object: replay
+  // recovers its exact bytes (number spellings included), which is what
+  // keeps resumed report rows byte-identical to freshly computed ones.
+  if (!record.row.empty()) w.key("row").value(record.row);
+  w.end_object();
+  return w.str();
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+Status JournalWriter::open(const std::string& path, bool truncate) {
+  close();
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0)
+    return Status(StatusCode::kUnavailable,
+                  "cannot open journal " + path + ": " + std::strerror(errno));
+  return {};
+}
+
+Status JournalWriter::append(JournalRecord record) {
+  if (fd_ < 0) return {};
+  record.seq = next_seq_++;
+  record.ts = obs::iso8601_utc_now();
+  std::string line = journal_record_to_json(record);
+  line.push_back('\n');
+  if (!write_all(fd_, line.data(), line.size()))
+    return Status(StatusCode::kUnavailable,
+                  std::string("journal write failed: ") + std::strerror(errno));
+  // Durability point: once this returns OK, the state transition survives
+  // a crash of this process (the resume contract).
+  if (::fdatasync(fd_) != 0 && errno != EINVAL && errno != EROFS)
+    return Status(StatusCode::kUnavailable,
+                  std::string("journal fsync failed: ") + std::strerror(errno));
+  return {};
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+JournalReplay replay_journal_text(std::string_view text) {
+  JournalReplay replay;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+
+    const auto doc = obs::parse_json(line);
+    if (!doc) {
+      // Truncated tail line after a crash, or noise: skip, never fatal.
+      ++replay.malformed;
+      continue;
+    }
+    const obs::JsonValue* schema = doc->find("schema");
+    const obs::JsonValue* job = doc->find("job");
+    const obs::JsonValue* state = doc->find("state");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string != "rdc.journal.v1" || job == nullptr ||
+        !job->is_string() || job->string.empty() || state == nullptr ||
+        !state->is_string()) {
+      ++replay.malformed;
+      continue;
+    }
+    ++replay.records;
+    if (const obs::JsonValue* seq = doc->find("seq");
+        seq != nullptr && seq->is_number() && seq->number > 0) {
+      const auto value = static_cast<std::uint64_t>(seq->number);
+      if (value > replay.last_seq) replay.last_seq = value;
+    }
+
+    JournalReplay::Job& entry = replay.jobs[job->string];
+    if (const obs::JsonValue* name = doc->find("name");
+        name != nullptr && name->is_string() && entry.name.empty())
+      entry.name = name->string;
+    const bool was_terminal = entry.terminal_records > 0;
+    if (journal_state_is_terminal(state->string)) {
+      ++entry.terminal_records;
+      if (was_terminal) {
+        // Audit violation: a job reached done/failed more than once. Keep
+        // the first terminal record's payload; count the duplicate.
+        ++replay.duplicate_terminal;
+        continue;
+      }
+      entry.state = state->string;
+      if (const obs::JsonValue* status = doc->find("status");
+          status != nullptr && status->is_string())
+        entry.status = status->string;
+      if (const obs::JsonValue* error = doc->find("error");
+          error != nullptr && error->is_string())
+        entry.error = error->string;
+      if (const obs::JsonValue* row = doc->find("row");
+          row != nullptr && row->is_string())
+        entry.row = row->string;
+      if (const obs::JsonValue* attempt = doc->find("attempt");
+          attempt != nullptr && attempt->is_number())
+        entry.attempt = static_cast<int>(attempt->number);
+    } else if (!was_terminal) {
+      // Non-terminal transitions never downgrade a terminal job (ordering
+      // noise in a hand-edited journal must not cause a re-run of done
+      // work — re-running is the failure mode the journal exists to stop).
+      entry.state = state->string;
+      if (const obs::JsonValue* attempt = doc->find("attempt");
+          attempt != nullptr && attempt->is_number())
+        entry.attempt = static_cast<int>(attempt->number);
+    }
+  }
+  return replay;
+}
+
+Result<JournalReplay> replay_journal_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return Status(StatusCode::kUnavailable,
+                  "cannot read journal " + path + ": " + std::strerror(errno));
+  std::string text;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t got = ::read(fd, buffer, sizeof buffer);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status(StatusCode::kUnavailable, "journal read failed: " +
+                                                  std::string(std::strerror(errno)));
+    }
+    if (got == 0) break;
+    text.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return replay_journal_text(text);
+}
+
+}  // namespace rdc::exec

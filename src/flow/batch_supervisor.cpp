@@ -1,0 +1,417 @@
+#include "flow/batch_supervisor.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/budget.hpp"
+#include "exec/journal.hpp"
+#include "obs/counters.hpp"
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "pla/pla_io.hpp"
+
+namespace rdc::flow {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t hash) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t mix_double(std::uint64_t hash, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return fnv1a(&bits, sizeof bits, hash);
+}
+
+std::uint64_t mix_u64(std::uint64_t hash, std::uint64_t value) {
+  return fnv1a(&value, sizeof value, hash);
+}
+
+// --- flat JSON object scanner --------------------------------------------
+//
+// Splits one compact JSON object into (key, raw value text) pairs without
+// interpreting the values — the identity transform that lets a journaled
+// row re-enter a report with every number spelling intact. Only flat
+// objects with scalar values are produced by the row writer, but the
+// scanner tolerates nested values (balanced scan) for robustness.
+
+void skip_ws(std::string_view text, std::size_t& at) {
+  while (at < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[at])) != 0)
+    ++at;
+}
+
+/// Consumes a JSON string starting at the opening quote; false on
+/// malformed input. `decoded` (when non-null) receives the unescaped text.
+bool scan_string(std::string_view text, std::size_t& at,
+                 std::string* decoded) {
+  if (at >= text.size() || text[at] != '"') return false;
+  ++at;
+  while (at < text.size()) {
+    const char c = text[at];
+    if (c == '"') {
+      ++at;
+      return true;
+    }
+    if (c == '\\') {
+      if (at + 1 >= text.size()) return false;
+      const char esc = text[at + 1];
+      if (decoded != nullptr) {
+        switch (esc) {
+          case '"': decoded->push_back('"'); break;
+          case '\\': decoded->push_back('\\'); break;
+          case '/': decoded->push_back('/'); break;
+          case 'b': decoded->push_back('\b'); break;
+          case 'f': decoded->push_back('\f'); break;
+          case 'n': decoded->push_back('\n'); break;
+          case 'r': decoded->push_back('\r'); break;
+          case 't': decoded->push_back('\t'); break;
+          case 'u': break;  // keys we emit are ASCII; drop the escape
+          default: return false;
+        }
+      }
+      at += 2;
+      if (esc == 'u') {
+        if (at + 4 > text.size()) return false;
+        at += 4;
+      }
+      continue;
+    }
+    if (decoded != nullptr) decoded->push_back(c);
+    ++at;
+  }
+  return false;
+}
+
+/// Consumes one JSON value (any kind), returning its exact source text.
+bool scan_value(std::string_view text, std::size_t& at, std::string& raw) {
+  const std::size_t begin = at;
+  if (at >= text.size()) return false;
+  const char first = text[at];
+  if (first == '"') {
+    if (!scan_string(text, at, nullptr)) return false;
+  } else if (first == '{' || first == '[') {
+    int depth = 0;
+    while (at < text.size()) {
+      const char c = text[at];
+      if (c == '"') {
+        if (!scan_string(text, at, nullptr)) return false;
+        continue;
+      }
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      ++at;
+      if (depth == 0) break;
+    }
+    if (depth != 0) return false;
+  } else {
+    // Number / true / false / null: runs until a structural character.
+    while (at < text.size() && text[at] != ',' && text[at] != '}' &&
+           text[at] != ']' &&
+           std::isspace(static_cast<unsigned char>(text[at])) == 0)
+      ++at;
+    if (at == begin) return false;
+  }
+  raw.assign(text.substr(begin, at - begin));
+  return true;
+}
+
+bool scan_flat_object(
+    std::string_view text,
+    std::vector<std::pair<std::string, std::string>>& fields) {
+  fields.clear();
+  std::size_t at = 0;
+  skip_ws(text, at);
+  if (at >= text.size() || text[at] != '{') return false;
+  ++at;
+  skip_ws(text, at);
+  if (at < text.size() && text[at] == '}') {
+    ++at;
+    skip_ws(text, at);
+    return at == text.size();
+  }
+  while (true) {
+    skip_ws(text, at);
+    std::string key;
+    if (!scan_string(text, at, &key)) return false;
+    skip_ws(text, at);
+    if (at >= text.size() || text[at] != ':') return false;
+    ++at;
+    skip_ws(text, at);
+    std::string raw;
+    if (!scan_value(text, at, raw)) return false;
+    fields.emplace_back(std::move(key), std::move(raw));
+    skip_ws(text, at);
+    if (at >= text.size()) return false;
+    if (text[at] == ',') {
+      ++at;
+      continue;
+    }
+    if (text[at] == '}') {
+      ++at;
+      skip_ws(text, at);
+      return at == text.size();
+    }
+    return false;
+  }
+}
+
+std::string serialize_row(const obs::Record& row) {
+  obs::JsonWriter w(/*compact=*/true);
+  row.write(w);
+  return w.str();
+}
+
+}  // namespace
+
+std::uint64_t flow_options_fingerprint(const FlowOptions& options,
+                                       const exec::BudgetLimits& budget) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = mix_u64(hash, static_cast<std::uint64_t>(options.objective));
+  hash = mix_double(hash, options.ranking_fraction);
+  hash = mix_double(hash, options.lcf_threshold);
+  hash = mix_u64(hash, options.lcf_assign_balanced ? 1 : 0);
+  hash = mix_u64(hash, options.resyn_recipe ? 1 : 0);
+  hash = mix_u64(hash, options.use_extraction ? 1 : 0);
+  hash = mix_u64(hash, options.sample_seed);
+  hash = mix_double(hash, budget.deadline_ms);
+  hash = mix_u64(hash, budget.max_checkpoints);
+  hash = mix_u64(hash, budget.max_rss_bytes);
+  return hash;
+}
+
+std::uint64_t batch_job_key(const IncompleteSpec& spec,
+                            std::string_view pipeline_spec,
+                            const BatchOptions& options, std::uint64_t salt) {
+  std::ostringstream pla;
+  write_pla(spec, pla);
+  const std::string pla_text = pla.str();
+  std::uint64_t hash = fnv1a(pla_text.data(), pla_text.size(),
+                             0xcbf29ce484222325ull);
+  const std::string& name = spec.name();
+  hash = fnv1a(name.data(), name.size(), hash);
+  hash = fnv1a(pipeline_spec.data(), pipeline_spec.size(), hash);
+  hash = mix_u64(hash, flow_options_fingerprint(options.flow, options.budget));
+  if (salt != 0) hash = mix_u64(hash, salt);
+  return hash;
+}
+
+exec::Result<SupervisedBatchResult> run_pipeline_batch_supervised(
+    const std::string& pipeline_spec,
+    const std::vector<IncompleteSpec>& specs,
+    const SupervisedBatchOptions& options) {
+  auto parsed = parse_pipeline(pipeline_spec);
+  if (!parsed.ok()) return parsed.status();
+  const Pipeline pipeline = std::move(parsed.value());
+  const std::string canonical = pipeline.to_string();
+
+  SupervisedBatchResult result;
+  result.report = obs::RunReport(options.batch.suite);
+  const bool events = obs::events_enabled();
+
+  // Stable job identities; repeated identical specs get their occurrence
+  // index mixed in so the journal can tell them apart.
+  std::vector<std::uint64_t> keys(specs.size());
+  std::vector<std::string> key_hex(specs.size());
+  {
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      std::uint64_t key = batch_job_key(specs[i], canonical, options.batch);
+      const std::uint64_t occurrence = seen[key]++;
+      if (occurrence > 0)
+        key = batch_job_key(specs[i], canonical, options.batch, occurrence);
+      keys[i] = key;
+      key_hex[i] = exec::job_key_hex(key);
+    }
+  }
+
+  // Per-spec terminal state, filled from the journal replay or this run.
+  struct Slot {
+    bool done = false;
+    bool ok = false;
+    bool from_journal = false;
+    std::string row_text;  ///< compact JSON row, exact bytes
+  };
+  std::vector<Slot> slots(specs.size());
+
+  // --- resume: replay the journal before planning any work ---------------
+  exec::JournalWriter journal;
+  std::uint64_t next_seq = 1;
+  bool replayed = false;
+  if (!options.journal_path.empty() && options.resume) {
+    auto replay = exec::replay_journal_file(options.journal_path);
+    if (replay.ok()) {
+      replayed = true;
+      next_seq = replay.value().last_seq + 1;
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto it = replay.value().jobs.find(key_hex[i]);
+        if (it == replay.value().jobs.end()) continue;
+        const exec::JournalReplay::Job& job = it->second;
+        if (!exec::journal_state_is_terminal(job.state) || job.row.empty())
+          continue;  // pending/running (or pre-row journal): re-run
+        slots[i].done = true;
+        slots[i].from_journal = true;
+        slots[i].ok = job.state == "done";
+        slots[i].row_text = job.row;
+        ++result.resumed;
+      }
+    }
+    // A missing/unreadable journal on --resume is a fresh run by design:
+    // the common case is "resume if interrupted, else just run".
+  }
+  if (!options.journal_path.empty()) {
+    const exec::Status opened =
+        journal.open(options.journal_path, /*truncate=*/!replayed);
+    if (!opened.ok()) return opened;
+    journal.set_next_seq(next_seq);
+  }
+  if (replayed) {
+    obs::count(obs::Counter::kSupervisorResumes);
+    if (events) {
+      obs::Record fields;
+      fields.set("journal", options.journal_path);
+      fields.set("resumed", result.resumed);
+      obs::emit_event("batch.resume", fields);
+    }
+  }
+
+  // --- plan the remaining work -------------------------------------------
+  const bool budgeted = options.batch.budget.deadline_ms > 0.0 ||
+                        options.batch.budget.max_checkpoints > 0 ||
+                        options.batch.budget.max_rss_bytes > 0;
+
+  std::vector<std::size_t> spec_of_job;
+  std::vector<exec::SupervisedJob> jobs;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (slots[i].done) continue;
+    const IncompleteSpec& spec = specs[i];
+    exec::SupervisedJob job;
+    job.key = keys[i];
+    job.name = spec.name();
+    // Runs in the forked worker: the run_pipeline_batch per-circuit body,
+    // plus row construction — the worker owns its row so a frame-returned
+    // failure still carries the full circuit-annotated error text.
+    job.run = [&pipeline, &spec, &options, budgeted](std::string& payload) {
+      Design design(spec, options.batch.flow);
+      exec::ExecBudget budget(options.batch.budget);
+      std::optional<exec::BudgetScope> scope;
+      if (budgeted) scope.emplace(&budget);
+      exec::Status status;
+      try {
+        status = pipeline.run(design);
+      } catch (...) {
+        status = exec::status_from_current_exception();
+      }
+      obs::Record row;
+      row.set("name", spec.name());
+      row.set("status", exec::status_code_name(status.code()));
+      row.merge(design.report.metrics);
+      if (!status.ok()) {
+        status.with_context("circuit " + spec.name());
+        row.set("error", status.to_string());
+      }
+      payload = serialize_row(row);
+      return status;
+    };
+    spec_of_job.push_back(i);
+    jobs.push_back(std::move(job));
+    if (journal.is_open()) {
+      exec::JournalRecord record;
+      record.job = key_hex[i];
+      record.name = spec.name();
+      record.state = "pending";
+      journal.append(record);
+    }
+  }
+
+  // --- execute under the supervisor --------------------------------------
+  exec::SupervisorOptions sup;
+  sup.limits = options.limits;
+  sup.retry = options.retry;
+  sup.max_parallel = options.max_parallel;
+  sup.max_completions = options.max_completions;
+  sup.on_attempt = [&](std::size_t job_index, int attempt) {
+    if (!journal.is_open()) return;
+    const std::size_t i = spec_of_job[job_index];
+    exec::JournalRecord record;
+    record.job = key_hex[i];
+    record.name = specs[i].name();
+    record.state = "running";
+    record.attempt = attempt;
+    journal.append(record);
+  };
+
+  const auto on_done = [&](const exec::JobOutcome& outcome) {
+    const std::size_t i = spec_of_job[outcome.index];
+    Slot& slot = slots[i];
+    // Rebuild the worker's row through the raw-field scanner and stamp the
+    // attempt count; a crash/timeout (no payload) synthesizes the error
+    // row the worker never got to write.
+    obs::Record row;
+    std::vector<std::pair<std::string, std::string>> fields;
+    if (!outcome.payload.empty() &&
+        scan_flat_object(outcome.payload, fields)) {
+      for (auto& [key, raw] : fields) row.set_raw(key, std::move(raw));
+    } else {
+      row.set("name", specs[i].name());
+      row.set("status", exec::status_code_name(outcome.status.code()));
+      exec::Status annotated = outcome.status;
+      annotated.with_context("circuit " + specs[i].name());
+      row.set("error", annotated.to_string());
+    }
+    row.set("attempts", outcome.attempts);
+    slot.done = true;
+    slot.ok = outcome.status.ok();
+    slot.row_text = serialize_row(row);
+    ++result.executed;
+    if (journal.is_open()) {
+      exec::JournalRecord record;
+      record.job = key_hex[i];
+      record.name = specs[i].name();
+      record.state = slot.ok ? "done" : "failed";
+      record.attempt = outcome.attempts;
+      record.status = exec::status_code_name(outcome.status.code());
+      if (!slot.ok) record.error = outcome.status.to_string();
+      record.row = slot.row_text;
+      journal.append(record);
+    }
+  };
+
+  const exec::SupervisorResult run = exec::run_supervised(jobs, sup, on_done);
+  result.skipped = run.skipped;
+  result.interrupted = run.interrupted;
+
+  // --- aggregate the report, input order ---------------------------------
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Slot& slot = slots[i];
+    if (!slot.done) continue;  // interrupted before a terminal outcome
+    obs::Record& row = result.report.add_row();
+    std::vector<std::pair<std::string, std::string>> fields;
+    if (scan_flat_object(slot.row_text, fields)) {
+      for (auto& [key, raw] : fields) row.set_raw(key, std::move(raw));
+      if (!slot.ok) ++result.failures;
+    } else {
+      row.set("name", specs[i].name());
+      row.set("status",
+              exec::status_code_name(exec::StatusCode::kInternal));
+      row.set("error", "journal row unparsable for job " + key_hex[i]);
+      ++result.failures;
+    }
+  }
+  result.report.meta().set("pipeline", canonical);
+  result.report.meta().set("circuits", specs.size());
+  result.report.meta().set("failures", result.failures);
+  if (result.interrupted) result.report.meta().set("interrupted", true);
+  return result;
+}
+
+}  // namespace rdc::flow

@@ -1,0 +1,82 @@
+// Crash-safe batch execution (DESIGN.md §14): run_pipeline_batch's
+// semantics — one deterministic report row per circuit, failures isolated
+// per row — lifted onto the process-isolation supervisor so a worker
+// SIGSEGV, OOM kill, or hang becomes an INTERNAL / RESOURCE_EXHAUSTED /
+// DEADLINE_EXCEEDED row instead of batch death.
+//
+// Identity: every (circuit, pipeline, options) job gets a stable 64-bit
+// key hashed from the spec's serialized .pla bytes, its name, the
+// canonical pipeline spec, and flow_options_fingerprint(). The key seeds
+// both the journal (resume matching) and the chaos harness (decision
+// reproducibility), which is what makes an interrupted-and-resumed batch
+// byte-identical to an uninterrupted one.
+//
+// Journal: with `journal_path` set, every job appends rdc.journal.v1
+// state transitions (pending → running → done/failed, fsync'd); terminal
+// records embed the finished report row so `resume` can restore it
+// byte-for-byte without re-running the job. A job interrupted mid-run is
+// left in state "running" and re-executes on resume — at-least-once,
+// never lost, never duplicated into the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/supervisor.hpp"
+#include "flow/pipeline.hpp"
+
+namespace rdc::flow {
+
+/// Deterministic fingerprint of every result-affecting knob in
+/// (FlowOptions, BudgetLimits). The cell library pointer is not
+/// hashed — callers mixing libraries in one journal must use distinct
+/// journal paths.
+std::uint64_t flow_options_fingerprint(const FlowOptions& options,
+                                       const exec::BudgetLimits& budget);
+
+/// Stable job key: hash(spec .pla bytes, spec name, pipeline spec,
+/// options fingerprint, salt). `salt` disambiguates repeated identical
+/// specs within one batch (occurrence index).
+std::uint64_t batch_job_key(const IncompleteSpec& spec,
+                            std::string_view pipeline_spec,
+                            const BatchOptions& options,
+                            std::uint64_t salt = 0);
+
+struct SupervisedBatchOptions {
+  BatchOptions batch;          ///< flow options / per-job budget / suite
+  exec::RetryPolicy retry;     ///< transient-failure retry policy
+  exec::WorkerLimits limits;   ///< hard per-attempt wall/RSS caps
+  int max_parallel = 1;        ///< concurrently forked workers
+  std::string journal_path;    ///< empty = no journal (no resume)
+  /// Replay an existing journal first: terminal jobs contribute their
+  /// recorded rows, everything else re-runs. A missing journal file is a
+  /// fresh run, not an error.
+  bool resume = false;
+  /// Stop launching after this many completions (0 = all) — the
+  /// deterministic mid-flight interruption used by the chaos smoke.
+  std::size_t max_completions = 0;
+};
+
+struct SupervisedBatchResult {
+  /// Aggregated rdc.bench.report.v1 document, rows in input order.
+  /// Interrupted runs only contain rows for jobs that reached a terminal
+  /// outcome (this run or a replayed journal).
+  obs::RunReport report{std::string("pipeline_batch")};
+  std::size_t failures = 0;   ///< rows with a non-OK status
+  std::size_t resumed = 0;    ///< rows restored from the journal
+  std::size_t executed = 0;   ///< jobs run to a terminal outcome here
+  std::size_t skipped = 0;    ///< jobs left pending/running (interrupted)
+  bool interrupted = false;   ///< max_completions hit or shutdown signal
+};
+
+/// Runs `pipeline_spec` over every spec under the process supervisor.
+/// Only the batch-level setup can fail (unparsable pipeline spec,
+/// unwritable journal); per-job failures of every kind are rows.
+exec::Result<SupervisedBatchResult> run_pipeline_batch_supervised(
+    const std::string& pipeline_spec,
+    const std::vector<IncompleteSpec>& specs,
+    const SupervisedBatchOptions& options);
+
+}  // namespace rdc::flow

@@ -30,6 +30,9 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "pool.tasks",
     "pool.worker_tasks",
     "pool.busy_ns",
+    "supervisor.retries",
+    "supervisor.crashes",
+    "supervisor.resumes",
 };
 
 constexpr const char* kHistoNames[kNumHistos] = {
@@ -101,8 +104,14 @@ bool counter_is_deterministic(Counter c) {
   // Which worker executes an index and how long it stays busy depend on
   // scheduling; additionally, a straggler worker can publish these after
   // the owning parallel_for already returned, so they are also racy to
-  // read at report time. Everything else is pure work arithmetic.
-  return c != Counter::kPoolBusyNs && c != Counter::kPoolWorkerTasks;
+  // read at report time. The supervisor counters depend on chaos injection
+  // and signal timing, so a chaos-interrupted batch must not diverge from
+  // an uninterrupted one in report JSON. Everything else is pure work
+  // arithmetic.
+  return c != Counter::kPoolBusyNs && c != Counter::kPoolWorkerTasks &&
+         c != Counter::kSupervisorRetries &&
+         c != Counter::kSupervisorCrashes &&
+         c != Counter::kSupervisorResumes;
 }
 
 const char* histo_name(Histo h) {

@@ -43,6 +43,9 @@ enum class Counter : unsigned {
   kPoolTasks,               ///< parallel_for indices executed
   kPoolWorkerTasks,         ///< indices per worker shard (scheduling-dep.)
   kPoolBusyNs,              ///< wall time workers spent inside jobs
+  kSupervisorRetries,       ///< supervised job attempts scheduled for retry
+  kSupervisorCrashes,       ///< workers that died without a result frame
+  kSupervisorResumes,       ///< batches resumed from a journal
   kCount,
 };
 inline constexpr unsigned kNumCounters =

@@ -121,6 +121,12 @@ void set_events_path(const std::string& path) {
   update_enabled_locked(s);
 }
 
+void flush_events() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.file != nullptr && s.file != stderr) std::fflush(s.file);
+}
+
 void set_events_capture(bool capture) {
   detail::init_events_enabled_from_env();
   Sink& s = sink();

@@ -61,6 +61,11 @@ void emit_event(const char* name);
 /// disables, "-" selects stderr, anything else appends to that file.
 void set_events_path(const std::string& path);
 
+/// Flushes the file sink's buffered lines to the OS. Called before a
+/// shutdown-signal re-raise so the terminating record is on disk before
+/// the default disposition kills the process.
+void flush_events();
+
 /// Capture mode for tests: events are retained in memory instead of (in
 /// addition to nothing) a file; drain_events() returns and clears them.
 void set_events_capture(bool capture);

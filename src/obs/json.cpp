@@ -151,6 +151,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  prepare_for_value();
+  out_ += json;
+  return *this;
+}
+
 // --- parser --------------------------------------------------------------
 
 const JsonValue* JsonValue::find(std::string_view k) const {

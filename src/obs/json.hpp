@@ -53,6 +53,11 @@ class JsonWriter {
   }
   JsonWriter& null();
 
+  /// Splices `json` into the output verbatim, in value position. The
+  /// caller guarantees it is one complete JSON value; used to replay
+  /// journaled report rows byte-for-byte (number spellings included).
+  JsonWriter& raw(std::string_view json);
+
   /// The document built so far. Valid once every container is closed.
   const std::string& str() const { return out_; }
 

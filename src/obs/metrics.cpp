@@ -1,8 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +12,8 @@
 #include <thread>
 
 #include "exec/budget.hpp"
+#include "exec/shutdown.hpp"
+#include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -258,18 +262,50 @@ struct Snapshotter {
     write_snapshot_file(snap, path);
   }
 
+  /// Unowned shutdown signal: this thread is the process's last poller,
+  /// so it completes the orderly teardown — final snapshot, terminating
+  /// event record, flushed sinks — then re-raises with the default
+  /// disposition restored so the process still dies with 128+N.
+  [[noreturn]] void finish_unowned_shutdown() {
+    write_once();
+    if (events_enabled()) {
+      Record fields;
+      fields.set("signal", exec::shutdown_signal());
+      emit_event("process.shutdown", fields);
+    }
+    flush_events();
+    exec::reraise_shutdown_signal();
+    std::abort();  // unreachable: the re-raised signal terminates us
+  }
+
   void loop() {
     std::unique_lock<std::mutex> lock(mutex);
     while (!stop_requested) {
       lock.unlock();
       write_once();
       lock.lock();
-      if (stop_requested) break;
-      cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                  [this] { return stop_requested; });
+      // Chunked waits (≤100 ms) so a shutdown signal is noticed promptly
+      // even with a long snapshot interval.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(interval_ms);
+      while (!stop_requested) {
+        if (exec::shutdown_requested() && !exec::shutdown_owned()) {
+          lock.unlock();
+          finish_unowned_shutdown();
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        cv.wait_for(lock,
+                    std::min<std::chrono::steady_clock::duration>(
+                        deadline - now, std::chrono::milliseconds(100)),
+                    [this] { return stop_requested; });
+      }
     }
   }
 };
+
+/// One-way kill switch for forked workers; see metrics_disable().
+std::atomic<bool> g_metrics_disabled{false};
 
 Snapshotter& snapshotter() {
   static Snapshotter* instance = new Snapshotter;
@@ -307,6 +343,7 @@ bool write_snapshot_file(const Snapshot& snapshot, const std::string& path) {
 }
 
 void start_metrics_snapshotter(const std::string& path, int interval_ms) {
+  if (g_metrics_disabled.load(std::memory_order_relaxed)) return;
   stop_metrics_snapshotter();  // restart semantics
   set_counters_enabled(true);
   Snapshotter& s = snapshotter();
@@ -315,10 +352,16 @@ void start_metrics_snapshotter(const std::string& path, int interval_ms) {
   s.interval_ms = interval_ms;
   s.stop_requested = false;
   s.running = true;
-  if (interval_ms > 0) s.thread = std::thread([&s] { s.loop(); });
+  if (interval_ms > 0) {
+    // The snapshotter thread polls the shutdown flag, so it is a valid
+    // poller to anchor the graceful SIGINT/SIGTERM path on.
+    exec::install_shutdown_handlers();
+    s.thread = std::thread([&s] { s.loop(); });
+  }
 }
 
 void stop_metrics_snapshotter() {
+  if (g_metrics_disabled.load(std::memory_order_relaxed)) return;
   Snapshotter& s = snapshotter();
   {
     std::lock_guard<std::mutex> lock(s.mutex);
@@ -336,7 +379,15 @@ void stop_metrics_snapshotter() {
   s.write_once();
 }
 
+void metrics_disable() {
+  g_metrics_disabled.store(true, std::memory_order_relaxed);
+}
+
 void metrics_init_from_env() {
+  // Checked before the once_flag on purpose: a forked worker inherits the
+  // flag in whatever state the parent had it, possibly mid-call — the
+  // plain atomic read cannot deadlock.
+  if (g_metrics_disabled.load(std::memory_order_relaxed)) return;
   static std::once_flag once;
   std::call_once(once, [] {
     const char* env = std::getenv("RDC_METRICS");

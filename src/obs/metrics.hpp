@@ -107,6 +107,13 @@ Snapshot metrics_snapshot();
 /// this; library users can call it directly.
 void metrics_init_from_env();
 
+/// Permanently disarms this process's metrics exposition: init/start
+/// become no-ops. Called first thing in forked supervisor workers — the
+/// parent owns the snapshot path, and the disable check deliberately runs
+/// *before* any once_flag so a fork taken mid-initialization cannot
+/// deadlock the child on an inherited locked flag.
+void metrics_disable();
+
 /// Programmatic snapshotter control (tests, daemons). interval_ms == 0
 /// writes only the final snapshot at stop. Calling start while running
 /// restarts with the new settings.

@@ -53,6 +53,12 @@ void Record::set_uint(std::string key, std::uint64_t value) {
   field.uint_value = value;
 }
 
+void Record::set_raw(std::string key, std::string json_text) {
+  Field& field = slot(std::move(key));
+  field.kind = Field::Kind::kRaw;
+  field.string = std::move(json_text);
+}
+
 void Record::merge(const Record& other) {
   for (const Field& field : other.fields_) slot(field.key) = field;
 }
@@ -72,6 +78,7 @@ void Record::write_fields(JsonWriter& w) const {
       case Field::Kind::kInt: w.value(field.int_value); break;
       case Field::Kind::kUint: w.value(field.uint_value); break;
       case Field::Kind::kBool: w.value(field.boolean); break;
+      case Field::Kind::kRaw: w.raw(field.string); break;
     }
   }
 }

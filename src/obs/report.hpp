@@ -39,6 +39,12 @@ class Record {
       set_uint(std::move(key), static_cast<std::uint64_t>(value));
   }
 
+  /// Sets `key` to a pre-serialized JSON value written verbatim — the
+  /// journal-replay path, where a resumed report row must reproduce the
+  /// original run's bytes exactly (including number spellings a
+  /// parse → re-emit cycle would not preserve).
+  void set_raw(std::string key, std::string json_text);
+
   bool empty() const { return fields_.empty(); }
   /// Copies every field of `other` into this record (existing keys are
   /// overwritten in place, new keys append) — used to fold a FlowReport's
@@ -55,7 +61,7 @@ class Record {
   void set_uint(std::string key, std::uint64_t value);
 
   struct Field {
-    enum class Kind { kString, kDouble, kInt, kUint, kBool };
+    enum class Kind { kString, kDouble, kInt, kUint, kBool, kRaw };
     std::string key;
     Kind kind = Kind::kString;
     std::string string;

@@ -7,12 +7,19 @@
 
 #include "common/bits.hpp"
 #include "common/bitvec.hpp"
+#include "exec/budget.hpp"
 
 namespace rdc {
 namespace {
 
 /// Two-sided 95% normal quantile (z such that P(|Z| <= z) = 0.95).
 constexpr double kZ95 = 1.959963984540054;
+
+/// Budget-poll stride inside the sampling loops. One draw is a handful of
+/// rng calls and bit probes, so polling every draw would dominate; every
+/// 64th draw keeps the overhead invisible while a deadline or iteration
+/// cap still interrupts a large `samples` request mid-loop.
+constexpr std::uint64_t kCheckpointStride = 64;
 
 SampledRate with_ci(double rate, double variance, std::uint64_t samples) {
   SampledRate out;
@@ -115,6 +122,7 @@ double sampled_error_rate(const TernaryTruthTable& implementation,
   std::uint64_t propagating = 0;
   unsigned pins[32];
   for (std::uint64_t s = 0; s < samples; ++s) {
+    if (s % kCheckpointStride == 0) exec::checkpoint();
     const auto m = static_cast<std::uint32_t>(rng.below(spec.size()));
     if (!spec.is_care(m)) continue;  // DC sources never occur: count 0
     // Uniform k-subset via partial Fisher-Yates over the pin indices.
@@ -161,6 +169,7 @@ SampledRate sampled_error_rate_ci(const TernaryTruthTable& implementation,
           std::max<std::uint64_t>(1, samples / n + (j < samples % n ? 1 : 0));
       std::uint64_t hits = 0;
       for (std::uint64_t s = 0; s < draws; ++s) {
+        if ((spent + s) % kCheckpointStride == 0) exec::checkpoint();
         const auto m = static_cast<std::uint32_t>(rng.below(spec.size()));
         if (!spec.is_care(m)) continue;
         if (implementation.is_on(m) != implementation.is_on(flip_bit(m, j)))
@@ -179,6 +188,7 @@ SampledRate sampled_error_rate_ci(const TernaryTruthTable& implementation,
   unsigned pins[32];
   std::uint64_t hits = 0;
   for (std::uint64_t s = 0; s < samples; ++s) {
+    if (s % kCheckpointStride == 0) exec::checkpoint();
     const auto m = static_cast<std::uint32_t>(rng.below(spec.size()));
     if (!spec.is_care(m)) continue;
     for (unsigned j = 0; j < n; ++j) pins[j] = j;

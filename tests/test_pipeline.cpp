@@ -791,6 +791,75 @@ TEST(PipelineSampled, SampledReportIsByteDeterministicPerSeed) {
   EXPECT_EQ(run_once(defaults.sample_seed), run_once(defaults.sample_seed));
 }
 
+TEST(PipelineSampled, BudgetTripInsideSampledPassIsTyped) {
+  // The sampling loops poll exec::checkpoint() every 64th draw, so an
+  // iteration cap trips *inside* error_rate:sampled — mid-pass, not at the
+  // next boundary — and surfaces as a typed status naming the pass. 200
+  // checkpoints cover the two cheap upstream passes with a wide margin
+  // while 2 outputs x 50000 draws (~1500 polls) blow through the rest.
+  exec::BudgetLimits limits;
+  limits.max_checkpoints = 200;
+  exec::ExecBudget budget(limits);
+  exec::BudgetScope scope(&budget);
+  flow::Design design(builtin_spec());
+  const exec::Status status =
+      parse_ok("assign:zero | covers:minterm | "
+               "error_rate:sampled(50000)")
+          .run(design);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.to_string().find("error_rate:sampled"), std::string::npos)
+      << status.to_string();
+  // Upstream artifacts survive; the estimate was never produced.
+  EXPECT_TRUE(design.has(flow::Artifact::kCovers));
+  EXPECT_FALSE(design.has(flow::Artifact::kErrorRate));
+  EXPECT_FALSE(design.estimator.sampled);
+}
+
+TEST(PipelineSampled, BatchDegradesSampledBudgetTripsToErrorRows) {
+  // Per-circuit budgets: every circuit trips inside its own sampled pass
+  // and degrades to an error row; the batch itself never fails.
+  Rng rng(17);
+  std::vector<IncompleteSpec> specs;
+  specs.push_back(builtin_spec());
+  specs.push_back(random_spec(5, 2, 0.4, rng));
+
+  flow::BatchOptions options;
+  options.budget.max_checkpoints = 200;
+  const flow::BatchResult batch = flow::run_pipeline_batch(
+      parse_ok("assign:zero | covers:minterm | "
+               "error_rate:sampled(50000)"),
+      specs, options);
+  EXPECT_EQ(batch.failures, specs.size());
+  std::string error;
+  const auto parsed = obs::parse_json(batch.report.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const obs::JsonValue* rows = parsed->find("rows");
+  ASSERT_NE(rows, nullptr);
+  for (const obs::JsonValue& row : rows->array) {
+    EXPECT_EQ(row.find("status")->string, "RESOURCE_EXHAUSTED");
+    ASSERT_NE(row.find("error"), nullptr);
+    EXPECT_NE(row.find("error")->string.find("error_rate:sampled"),
+              std::string::npos);
+  }
+}
+
+TEST(PipelineSampled, PassBoundaryFaultFailsSampledPassCleanly) {
+  // RDC_FAULT=pipeline.pass:3 arms the third boundary hit: the two cheap
+  // passes run, the sampled pass faults before it starts, and the failure
+  // is a typed kFaultInjected naming it — no throw escapes the harness.
+  FaultSpecGuard guard("pipeline.pass:3");
+  flow::Design design(builtin_spec());
+  const exec::Status status =
+      parse_ok("assign:zero | covers:minterm | "
+               "error_rate:sampled(2000)")
+          .run(design);
+  EXPECT_EQ(status.code(), StatusCode::kFaultInjected);
+  EXPECT_NE(status.to_string().find("error_rate:sampled"), std::string::npos)
+      << status.to_string();
+  EXPECT_TRUE(design.has(flow::Artifact::kCovers));
+  EXPECT_FALSE(design.has(flow::Artifact::kErrorRate));
+}
+
 TEST(PipelineSampled, RepeatedExactErrorRateReconcilesIncrementally) {
   // Re-running assign + downstream on one Design exercises the Design's
   // ErrorRateTracker across different working implementations; each

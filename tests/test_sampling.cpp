@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "exec/budget.hpp"
+#include "exec/status.hpp"
 #include "reliability/error_rate.hpp"
 #include "reliability/sampling.hpp"
 
@@ -109,6 +111,32 @@ TEST(SampledErrorRate, MultiOutputMean) {
   Rng rng(7);
   EXPECT_DOUBLE_EQ(sampled_error_rate(impl, spec, 1, 2000, rng), 0.5);
   EXPECT_DOUBLE_EQ(exact_error_rate_kbit(impl, spec, 1), 0.5);
+}
+
+TEST(SampledErrorRate, BudgetCheckpointTripsInsideTheDrawLoop) {
+  // The estimators poll exec::checkpoint() every 64th draw, so a budget
+  // installed around a sampled evaluation can stop it mid-loop with the
+  // typed kResourceExhausted trip instead of running all draws.
+  exec::BudgetLimits limits;
+  limits.max_checkpoints = 10;
+  exec::ExecBudget budget(limits);
+  exec::BudgetScope scope(&budget);
+  Rng init(11);
+  const TernaryTruthTable impl = random_complete(6, init);
+  Rng rng(13);
+  try {
+    (void)sampled_error_rate_ci(impl, impl, 1, 20000, rng);
+    FAIL() << "sampled_error_rate_ci ignored the tripped budget";
+  } catch (const exec::StatusError& e) {
+    EXPECT_EQ(e.status().code(), exec::StatusCode::kResourceExhausted);
+  }
+  // Trips are sticky: the plain estimator fails the same way afterwards.
+  try {
+    (void)sampled_error_rate(impl, impl, 1, 20000, rng);
+    FAIL() << "sampled_error_rate ignored the tripped budget";
+  } catch (const exec::StatusError& e) {
+    EXPECT_EQ(e.status().code(), exec::StatusCode::kResourceExhausted);
+  }
 }
 
 }  // namespace

@@ -12,13 +12,22 @@
 // --events switches to JSONL mode for rdc.events.v1 logs: every line
 // must parse, carry the schema tag and a non-empty event name, and the
 // seq numbers must be strictly increasing (the written contract that
-// seq == physical line order).
+// seq == physical line order). Known event kinds (job.spawn, job.crash,
+// retry.attempt, batch.resume, process.shutdown) are additionally
+// key-checked against their documented fields.
+//
+// --journal switches to JSONL mode for rdc.journal.v1 files: schema tag,
+// non-empty 16-hex job key, known state, strictly increasing seq,
+// status on terminal states — and the resume audit: at most one terminal
+// record per job (a duplicate means a job ran twice).
 //
 // Usage: rdc_json_check <file> [key ...]
 //        rdc_json_check --events <file>
+//        rdc_json_check --journal <file>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -67,6 +76,126 @@ const char* const* schema_required_keys(const std::string& schema) {
   return nullptr;
 }
 
+/// Required fields per known event kind; nullptr-terminated. Unknown
+/// kinds are fine (the taxonomy grows), known kinds must not drift.
+const char* const* event_required_keys(const std::string& event) {
+  static const char* const kSpawn[] = {"job", "name", "attempt", "pid",
+                                       nullptr};
+  static const char* const kCrash[] = {"job", "name", "attempt", "signal",
+                                       nullptr};
+  static const char* const kRetry[] = {"job", "name", "attempt",
+                                       "backoff_ms", nullptr};
+  static const char* const kResume[] = {"journal", "resumed", nullptr};
+  static const char* const kShutdown[] = {"signal", nullptr};
+  if (event == "job.spawn") return kSpawn;
+  if (event == "job.crash") return kCrash;
+  if (event == "retry.attempt") return kRetry;
+  if (event == "batch.resume") return kResume;
+  if (event == "process.shutdown") return kShutdown;
+  return nullptr;
+}
+
+int check_journal(const char* path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "rdc_json_check: cannot read %s\n", path);
+    return 1;
+  }
+  int failures = 0;
+  std::size_t line_no = 0;
+  double last_seq = 0.0;
+  std::map<std::string, int> terminal_per_job;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    ++line_no;
+
+    std::string error;
+    const auto doc = rdc::obs::parse_json(line, &error);
+    if (!doc) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: parse error: %s\n", path,
+                   line_no, error.c_str());
+      ++failures;
+      continue;
+    }
+    const rdc::obs::JsonValue* schema = doc->find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string != "rdc.journal.v1") {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: bad or missing schema\n",
+                   path, line_no);
+      ++failures;
+    }
+    const rdc::obs::JsonValue* seq = doc->find("seq");
+    if (seq == nullptr || !seq->is_number()) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: missing seq\n", path,
+                   line_no);
+      ++failures;
+    } else {
+      if (seq->number <= last_seq) {
+        std::fprintf(stderr,
+                     "rdc_json_check: %s:%zu: seq %.0f not increasing "
+                     "(previous %.0f)\n",
+                     path, line_no, seq->number, last_seq);
+        ++failures;
+      }
+      last_seq = seq->number;
+    }
+    const rdc::obs::JsonValue* job = doc->find("job");
+    std::string job_key;
+    if (job == nullptr || !job->is_string() || job->string.empty()) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: missing job key\n", path,
+                   line_no);
+      ++failures;
+    } else {
+      job_key = job->string;
+    }
+    const rdc::obs::JsonValue* state = doc->find("state");
+    if (state == nullptr || !state->is_string() ||
+        (state->string != "pending" && state->string != "running" &&
+         state->string != "done" && state->string != "failed")) {
+      std::fprintf(stderr, "rdc_json_check: %s:%zu: bad or missing state\n",
+                   path, line_no);
+      ++failures;
+      continue;
+    }
+    const bool terminal =
+        state->string == "done" || state->string == "failed";
+    if (terminal) {
+      const rdc::obs::JsonValue* status = doc->find("status");
+      if (status == nullptr || !status->is_string() ||
+          status->string.empty()) {
+        std::fprintf(stderr,
+                     "rdc_json_check: %s:%zu: terminal record without "
+                     "status\n",
+                     path, line_no);
+        ++failures;
+      }
+      if (!job_key.empty() && ++terminal_per_job[job_key] > 1) {
+        // The resume audit: one terminal record per job, ever — a second
+        // one means a finished job was re-executed.
+        std::fprintf(stderr,
+                     "rdc_json_check: %s:%zu: job %s reached a terminal "
+                     "state twice\n",
+                     path, line_no, job_key.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "rdc_json_check: %s: no journal lines\n", path);
+    return 1;
+  }
+  if (failures > 0) return 1;
+  std::printf("rdc_json_check: %s ok (%zu journal line%s, %zu terminal)\n",
+              path, line_no, line_no == 1 ? "" : "s",
+              terminal_per_job.size());
+  return 0;
+}
+
 int check_events(const char* path) {
   std::string text;
   if (!read_file(path, text)) {
@@ -105,6 +234,17 @@ int check_events(const char* path) {
       std::fprintf(stderr, "rdc_json_check: %s:%zu: missing event name\n",
                    path, line_no);
       ++failures;
+    } else if (const char* const* required =
+                   event_required_keys(event->string)) {
+      for (; *required != nullptr; ++required) {
+        if (doc->find(*required) == nullptr) {
+          std::fprintf(stderr,
+                       "rdc_json_check: %s:%zu: event %s requires key "
+                       "'%s'\n",
+                       path, line_no, event->string.c_str(), *required);
+          ++failures;
+        }
+      }
     }
     const rdc::obs::JsonValue* seq = doc->find("seq");
     if (seq == nullptr || !seq->is_number()) {
@@ -150,11 +290,19 @@ int main(int argc, char** argv) {
     }
     return check_events(argv[2]);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "--journal") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --journal <file>\n", argv[0]);
+      return 2;
+    }
+    return check_journal(argv[2]);
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <file> [key ...]\n"
-                 "       %s --events <file>\n",
-                 argv[0], argv[0]);
+                 "       %s --events <file>\n"
+                 "       %s --journal <file>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   std::string text;
