@@ -63,10 +63,12 @@ int usage() {
       "                    [--policy ...] [--pipeline \"<spec>\"] [--json "
       "out.json]\n"
       "  rdcsyn_cli batch  <a.pla> <b.pla> ... --pipeline \"<spec>\"\n"
-      "                    [--json report.json]\n"
+      "                    [--json report.json] [--retries N]\n"
       "      Runs the pipeline over every circuit in parallel "
       "(RDC_THREADS);\n"
-      "      failures become error rows, not aborts. Pipeline specs look\n"
+      "      failures become error rows, not aborts. --retries N gives\n"
+      "      each circuit up to N attempts (like rdc_batch: transient\n"
+      "      failures only, jittered backoff). Pipeline specs look\n"
       "      like \"assign:ranking(0.5) | espresso | factor | aig |\n"
       "      map:power | analyze | error_rate\".\n"
       "  rdcsyn_cli renode <in.pla> [--threshold T]\n"
@@ -94,6 +96,7 @@ struct Args {
   std::string json;      ///< report JSON destination (--json)
   double fraction = 0.5;
   double threshold = 0.55;
+  int retries = 1;  ///< total attempts per circuit (batch), like rdc_batch
   bool delay = false;
   bool resyn = false;
 };
@@ -120,6 +123,9 @@ bool parse_args(int argc, char** argv, int first, Args& args) {
       args.pipeline = argv[++i];
     } else if (a == "--json" && i + 1 < argc) {
       args.json = argv[++i];
+    } else if (a == "--retries" && i + 1 < argc) {
+      args.retries = std::atoi(argv[++i]);
+      if (args.retries < 1) return false;
     } else if (a == "--fraction") {
       if (!value(args.fraction)) return false;
     } else if (a == "--threshold") {
@@ -254,6 +260,7 @@ int cmd_batch(const Args& args) {
   flow::BatchOptions options;
   options.flow.objective =
       args.delay ? OptimizeFor::kDelay : OptimizeFor::kPower;
+  options.retry.max_attempts = args.retries;
   const flow::BatchResult batch =
       flow::run_pipeline_batch(*pipeline, specs, options);
   const std::string report = batch.report.to_json();

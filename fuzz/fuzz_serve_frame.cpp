@@ -1,0 +1,111 @@
+// Fuzz target for the rdcsynd wire-protocol decoder (serve/protocol.hpp).
+// The daemon feeds attacker-controlled socket bytes straight into
+// FrameDecoder, so the whole decode path must be total: any byte
+// sequence yields frames, kNeedMore, or a typed Status — never a throw,
+// crash, hang, or overread. Decoded frames are additionally pushed
+// through the typed body decoders, and successful request/report decodes
+// are re-encoded and re-decoded to pin the round trip. A second decoder
+// consumes the same input one byte at a time to exercise the incremental
+// buffering paths. Regression corpus: fuzz/corpus/serve_frame/.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace rdc::serve;
+
+void check_frame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kRequest: {
+      JobRequest request;
+      if (decode_request(frame.body, request).ok()) {
+        Frame again;
+        FrameDecoder decoder;
+        decoder.feed(encode_request(request));
+        if (decoder.next(again) != FrameDecoder::Result::kFrame)
+          std::abort();
+        JobRequest round;
+        if (!decode_request(again.body, round).ok() ||
+            round.spec_pla != request.spec_pla ||
+            round.pipeline != request.pipeline ||
+            round.deadline_ms != request.deadline_ms ||
+            round.no_cache != request.no_cache)
+          std::abort();
+      }
+      break;
+    }
+    case FrameType::kReportReply: {
+      ReportReply reply;
+      if (decode_report_reply(frame.body, reply).ok()) {
+        Frame again;
+        FrameDecoder decoder;
+        decoder.feed(encode_report_reply(reply));
+        if (decoder.next(again) != FrameDecoder::Result::kFrame)
+          std::abort();
+        ReportReply round;
+        if (!decode_report_reply(again.body, round).ok() ||
+            round.cache_hit != reply.cache_hit ||
+            round.report_json != reply.report_json)
+          std::abort();
+      }
+      break;
+    }
+    case FrameType::kErrorReply: {
+      rdc::exec::Status status;
+      (void)decode_error_reply(frame.body, status);
+      break;
+    }
+    case FrameType::kPing:
+    case FrameType::kPong:
+      break;
+  }
+}
+
+/// Drains every complete frame; returns the number seen before the
+/// decoder reports kError or kNeedMore.
+std::size_t drain(FrameDecoder& decoder) {
+  std::size_t frames = 0;
+  Frame frame;
+  while (decoder.next(frame) == FrameDecoder::Result::kFrame) {
+    check_frame(frame);
+    ++frames;
+  }
+  return frames;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Small body cap keeps the fuzzer fast and exercises the
+  // kResourceExhausted oversize path often.
+  constexpr std::size_t kCap = 1 << 16;
+
+  FrameDecoder bulk(kCap);
+  bulk.feed(reinterpret_cast<const char*>(data), size);
+  const std::size_t bulk_frames = drain(bulk);
+  const bool bulk_errored = !bulk.error().ok();
+
+  // Byte-at-a-time feeding must agree with bulk feeding exactly.
+  FrameDecoder incremental(kCap);
+  std::size_t incremental_frames = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    incremental.feed(reinterpret_cast<const char*>(data) + i, 1);
+    Frame frame;
+    while (incremental.next(frame) == FrameDecoder::Result::kFrame)
+      ++incremental_frames;
+    if (!incremental.error().ok()) break;
+  }
+  // Feeding granularity must not change the outcome: same frame count,
+  // same error state.
+  const bool incremental_errored = !incremental.error().ok();
+  if (incremental_frames != bulk_frames ||
+      incremental_errored != bulk_errored)
+    std::abort();
+  return 0;
+}

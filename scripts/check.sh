@@ -21,6 +21,12 @@
 # uninterrupted one, that worker segfaults become INTERNAL rows with
 # job.crash events, and that SIGTERM produces an orderly shutdown in both
 # the driver-owned (exit 4) and unowned-snapshotter (exit 143) paths.
+# The §15 serving smoke exercises rdcsynd end to end on a unix socket:
+# warm-cache request pair (byte-identical reply, serve.cache.hit counter),
+# malformed frames and a slow-loris client answered with Status replies
+# rather than crashes, overload shed with RESOURCE_EXHAUSTED, and SIGTERM
+# during an in-flight request draining cleanly with exit 0 plus a
+# serve.drain event.
 #
 # Usage: scripts/check.sh [--no-sanitizers]
 set -euo pipefail
@@ -65,7 +71,7 @@ grep -q "rdc::obs" "$smoke_dir/summary.txt" || {
 run_fuzzers() {
   local build_dir="$1"
   local target
-  for target in pla blif aiger json pipeline_spec journal; do
+  for target in pla blif aiger json pipeline_spec journal serve_frame; do
     local bin="$build_dir/fuzz/fuzz_$target"
     local corpus="fuzz/corpus/$target"
     [[ -x "$bin" ]] || { echo "missing fuzz binary $bin" >&2; return 1; }
@@ -341,6 +347,130 @@ grep -qF '"event": "process.shutdown"' "$smoke_dir/unowned_events.jsonl" || {
 ./build/tools/rdc_json_check "$smoke_dir/unowned_metrics.json"
 
 echo
+echo "== §15 serving smoke: rdcsynd admission, cache, drain =="
+# Daemon 1: single executor, short I/O timeout. A warm-cache request pair
+# must return byte-identical reports; malformed frames and a slow-loris
+# client must get Status replies while the daemon keeps serving; SIGTERM
+# with a request in flight must drain cleanly (exit 0, serve.drain event,
+# final metrics snapshot with the cache-hit counter).
+serve_sock="$smoke_dir/rdcsynd.sock"
+RDC_METRICS="$smoke_dir/serve_metrics.json:50" \
+RDC_EVENTS="$smoke_dir/serve_events.jsonl" \
+  ./build/tools/rdcsynd --socket "$serve_sock" --threads 1 \
+  --io-timeout-ms 400 --drain-ms 1000 \
+  2> "$smoke_dir/rdcsynd.log" & serve_pid=$!
+./build/tools/rdcsyn_client ping --socket "$serve_sock" --wait-ms 10000 \
+  > /dev/null
+./build/tools/rdcsyn_client run examples/fixtures/builtin.pla \
+  --socket "$serve_sock" --pipeline "assign:zero | espresso" \
+  --json "$smoke_dir/serve_cold.json" > /dev/null
+# Same request, pipeline spelled without spaces: canonicalization means it
+# still hits, and the reply bytes must match the cold run exactly.
+./build/tools/rdcsyn_client run examples/fixtures/builtin.pla \
+  --socket "$serve_sock" --pipeline "assign:zero|espresso" \
+  --json "$smoke_dir/serve_warm.json" > /dev/null
+cmp "$smoke_dir/serve_cold.json" "$smoke_dir/serve_warm.json" || {
+  echo "serving smoke: warm cache reply differs from the cold run" >&2
+  exit 1
+}
+./build/tools/rdc_json_check "$smoke_dir/serve_cold.json" \
+  schema phases metrics
+# Malformed frame: the reply must be a framed kInvalidArgument (code 1),
+# then a close — never a crash.
+python3 - "$serve_sock" <<'EOF'
+import socket, struct, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b"NOT A FRAME AT ALL")
+s.settimeout(10)
+reply = b""
+while True:
+    try:
+        chunk = s.recv(4096)
+    except socket.timeout:
+        sys.exit("serving smoke: no reply to a malformed frame")
+    if not chunk:
+        break
+    reply += chunk
+assert reply[:4] == b"RDCS" and reply[4] == 1, reply[:16]
+assert reply[5] == 3, f"want error-reply frame type 3, got {reply[5]}"
+body = reply[10:10 + struct.unpack("<I", reply[6:10])[0]]
+assert body[0] == 1, f"want INVALID_ARGUMENT (1), got {body[0]}"
+EOF
+# Slow-loris: a partial header must be cut on the read deadline with a
+# framed kDeadlineExceeded (code 3), not held open forever.
+python3 - "$serve_sock" <<'EOF'
+import socket, struct, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b"RDCS")  # valid magic, then stall mid-header
+s.settimeout(10)
+reply = b""
+while True:
+    try:
+        chunk = s.recv(4096)
+    except socket.timeout:
+        sys.exit("serving smoke: slow-loris connection was never cut")
+    if not chunk:
+        break
+    reply += chunk
+assert reply[:4] == b"RDCS" and reply[5] == 3, reply[:16]
+body = reply[10:10 + struct.unpack("<I", reply[6:10])[0]]
+assert body[0] == 3, f"want DEADLINE_EXCEEDED (3), got {body[0]}"
+EOF
+# Still serving after both attacks.
+./build/tools/rdcsyn_client ping --socket "$serve_sock" --wait-ms 5000 \
+  > /dev/null
+# SIGTERM with a long request in flight: the drain lets it finish or
+# cancels it at the deadline, and the daemon exits 0 either way.
+./build/tools/rdcsyn_client run "$smoke_dir/slow.pla" \
+  --socket "$serve_sock" --pipeline "assign:zero | espresso" --retries 1 \
+  > /dev/null 2>&1 & slow_client_pid=$!
+sleep 0.5
+kill -TERM "$serve_pid"
+code=0; wait "$serve_pid" || code=$?
+[[ "$code" == 0 ]] || {
+  echo "serving smoke: rdcsynd exited $code after SIGTERM, want 0" >&2
+  cat "$smoke_dir/rdcsynd.log" >&2
+  exit 1
+}
+wait "$slow_client_pid" || true
+grep -qF '"event": "serve.drain"' "$smoke_dir/serve_events.jsonl" || {
+  echo "serving smoke: no serve.drain event" >&2; exit 1
+}
+./build/tools/rdc_json_check --events "$smoke_dir/serve_events.jsonl"
+./build/tools/rdc_json_check "$smoke_dir/serve_metrics.json"
+grep -qF '"serve.cache.hit": 1' "$smoke_dir/serve_metrics.json" || {
+  echo "serving smoke: final metrics snapshot lacks the cache hit" >&2
+  exit 1
+}
+# Daemon 2: a zero-depth admission queue sheds every request with
+# RESOURCE_EXHAUSTED — bounded rejection, not unbounded buffering.
+./build/tools/rdcsynd --socket "$serve_sock" --queue 0 \
+  2>> "$smoke_dir/rdcsynd.log" & serve_pid=$!
+./build/tools/rdcsyn_client ping --socket "$serve_sock" --wait-ms 10000 \
+  > /dev/null
+code=0
+./build/tools/rdcsyn_client run examples/fixtures/builtin.pla \
+  --socket "$serve_sock" --pipeline "assign:zero | espresso" \
+  > /dev/null 2> "$smoke_dir/serve_shed.txt" || code=$?
+[[ "$code" == 3 ]] || {
+  echo "serving smoke: shed request exited $code, want 3 (error reply)" >&2
+  exit 1
+}
+grep -q "RESOURCE_EXHAUSTED" "$smoke_dir/serve_shed.txt" || {
+  echo "serving smoke: shed reply is not RESOURCE_EXHAUSTED" >&2
+  cat "$smoke_dir/serve_shed.txt" >&2
+  exit 1
+}
+kill -TERM "$serve_pid"
+code=0; wait "$serve_pid" || code=$?
+[[ "$code" == 0 ]] || {
+  echo "serving smoke: idle rdcsynd exited $code after SIGTERM, want 0" >&2
+  exit 1
+}
+
+echo
 echo "== perf-regression gate: rdc_perf_diff =="
 # Identity self-check: the committed SIMD baseline diffed against itself
 # must pass at threshold 0 (byte-deterministic comparator, strict '>').
@@ -375,7 +505,8 @@ if [[ "$run_sanitizers" == "1" ]]; then
     -DRDC_ENABLE_FUZZERS=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j --target rdcsyn_tests \
-    fuzz_pla fuzz_blif fuzz_aiger fuzz_json fuzz_pipeline_spec fuzz_journal
+    fuzz_pla fuzz_blif fuzz_aiger fuzz_json fuzz_pipeline_spec fuzz_journal \
+    fuzz_serve_frame
   (cd build-asan && ctest --output-on-failure -j)
   echo
   echo "== fuzz corpus replay (ASan+UBSan build) =="

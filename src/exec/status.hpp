@@ -51,6 +51,20 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  /// The accumulated context chain, "frame: frame: " outermost first (""
+  /// when no context was attached). Exposed so a Status can be serialized
+  /// field-by-field — the serve wire protocol round-trips it.
+  const std::string& context() const { return context_; }
+
+  /// Reassembles a Status from its three serialized fields — the decoding
+  /// inverse of code()/message()/context(). The result compares equal to
+  /// the Status the fields were read from.
+  static Status from_parts(StatusCode code, std::string message,
+                           std::string context) {
+    Status status(code, std::move(message));
+    status.context_ = std::move(context);
+    return status;
+  }
 
   /// Prepends a context frame ("espresso", "circuit rd53") to the chain.
   /// Returns *this so boundaries can annotate as the error unwinds.

@@ -59,20 +59,6 @@ std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t hash) {
   return hash;
 }
 
-/// Deterministic backoff: base * 2^(attempt-1), stretched by a jitter
-/// factor hashed from (job, attempt) so colliding retries decorrelate
-/// identically on every run (resume included).
-double retry_backoff_ms(const RetryPolicy& retry, std::uint64_t key,
-                        int attempt) {
-  if (retry.base_backoff_ms <= 0.0) return 0.0;
-  double backoff = retry.base_backoff_ms;
-  for (int i = 1; i < attempt; ++i) backoff *= 2.0;
-  std::uint64_t hash = fnv1a(&key, sizeof key, 0xcbf29ce484222325ull);
-  hash = fnv1a(&attempt, sizeof attempt, hash);
-  const double u = static_cast<double>(hash >> 11) * 0x1p-53;
-  return backoff * (1.0 + std::max(0.0, retry.jitter) * u);
-}
-
 void append_u32(std::string& out, std::uint32_t value) {
   out.push_back(static_cast<char>(value & 0xff));
   out.push_back(static_cast<char>((value >> 8) & 0xff));
@@ -228,6 +214,20 @@ bool outcome_is_transient(const JobOutcome& outcome) {
   return outcome.crashed || outcome.timed_out ||
          outcome.status.code() == StatusCode::kFaultInjected ||
          outcome.status.code() == StatusCode::kResourceExhausted;
+}
+
+// Deterministic backoff (see header): the jitter factor is hashed from
+// (job, attempt) so colliding retries decorrelate identically on every
+// run, resume included.
+double retry_backoff_ms(const RetryPolicy& retry, std::uint64_t key,
+                        int attempt) {
+  if (retry.base_backoff_ms <= 0.0) return 0.0;
+  double backoff = retry.base_backoff_ms;
+  for (int i = 1; i < attempt; ++i) backoff *= 2.0;
+  std::uint64_t hash = fnv1a(&key, sizeof key, 0xcbf29ce484222325ull);
+  hash = fnv1a(&attempt, sizeof attempt, hash);
+  const double u = static_cast<double>(hash >> 11) * 0x1p-53;
+  return backoff * (1.0 + std::max(0.0, retry.jitter) * u);
 }
 
 SupervisorResult run_supervised(

@@ -102,6 +102,14 @@ struct SupervisorResult {
 /// are deterministic and never retry.
 bool outcome_is_transient(const JobOutcome& outcome);
 
+/// Deterministic jittered backoff before attempt `attempt` (2, 3, ...):
+/// base * 2^(attempt-1), stretched by a jitter factor hashed from
+/// (key, attempt) so colliding retries decorrelate identically on every
+/// run. Shared by the supervisor, the batch drivers, and the serve
+/// client so every retry path waits the same way.
+double retry_backoff_ms(const RetryPolicy& retry, std::uint64_t key,
+                        int attempt);
+
 /// Runs every job under process isolation. `on_done` (optional) fires in
 /// the parent as each job reaches its terminal outcome, in completion
 /// order. Never throws; per-job failures live in the outcomes.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "exec/budget.hpp"
+#include "exec/supervisor.hpp"
 #include "flow/pass.hpp"
 #include "obs/report.hpp"
 
@@ -91,6 +92,13 @@ struct BatchOptions {
   /// gets its own ExecBudget so one runaway circuit cannot starve the rest.
   exec::BudgetLimits budget;
   std::string suite = "pipeline_batch";  ///< RunReport suite name
+  /// In-process retry for transiently failing circuits. What retries is
+  /// decided by exec::outcome_is_transient — the same predicate the
+  /// process supervisor and the rdcsynd client use (deadline-outs count
+  /// as timeouts; parse/argument errors never retry) — and the wait
+  /// between attempts is exec::retry_backoff_ms. max_attempts = 1 (the
+  /// default) preserves single-shot behavior and report bytes exactly.
+  exec::RetryPolicy retry;
 };
 
 struct BatchResult {

@@ -33,6 +33,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "supervisor.retries",
     "supervisor.crashes",
     "supervisor.resumes",
+    "serve.accepted",
+    "serve.shed",
+    "serve.timeout",
+    "serve.cache.hit",
+    "serve.cache.miss",
+    "serve.cache.evict",
 };
 
 constexpr const char* kHistoNames[kNumHistos] = {
@@ -106,12 +112,16 @@ bool counter_is_deterministic(Counter c) {
   // the owning parallel_for already returned, so they are also racy to
   // read at report time. The supervisor counters depend on chaos injection
   // and signal timing, so a chaos-interrupted batch must not diverge from
-  // an uninterrupted one in report JSON. Everything else is pure work
-  // arithmetic.
+  // an uninterrupted one in report JSON. The serve counters depend on
+  // traffic and admission timing for the same reason. Everything else is
+  // pure work arithmetic.
   return c != Counter::kPoolBusyNs && c != Counter::kPoolWorkerTasks &&
          c != Counter::kSupervisorRetries &&
          c != Counter::kSupervisorCrashes &&
-         c != Counter::kSupervisorResumes;
+         c != Counter::kSupervisorResumes && c != Counter::kServeAccepted &&
+         c != Counter::kServeShed && c != Counter::kServeTimeout &&
+         c != Counter::kServeCacheHit && c != Counter::kServeCacheMiss &&
+         c != Counter::kServeCacheEvict;
 }
 
 const char* histo_name(Histo h) {

@@ -46,6 +46,12 @@ enum class Counter : unsigned {
   kSupervisorRetries,       ///< supervised job attempts scheduled for retry
   kSupervisorCrashes,       ///< workers that died without a result frame
   kSupervisorResumes,       ///< batches resumed from a journal
+  kServeAccepted,           ///< requests admitted past the serve queue
+  kServeShed,               ///< requests rejected with kResourceExhausted
+  kServeTimeout,            ///< connections dropped on a read/write deadline
+  kServeCacheHit,           ///< result-cache hits
+  kServeCacheMiss,          ///< result-cache misses
+  kServeCacheEvict,         ///< result-cache entries evicted by the byte cap
   kCount,
 };
 inline constexpr unsigned kNumCounters =

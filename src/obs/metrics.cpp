@@ -255,8 +255,13 @@ struct Snapshotter {
   bool running = false;
   bool stop_requested = false;
   std::uint64_t seq = 0;
+  /// Serializes concurrent writers (the loop thread vs. a drain-time
+  /// flush_metrics_snapshot call): both share one tmp file and the seq
+  /// counter, so the write must be atomic end to end.
+  std::mutex write_mutex;
 
   void write_once() {
+    std::lock_guard<std::mutex> io(write_mutex);
     Snapshot snap = metrics_snapshot();
     snap.seq = ++seq;
     write_snapshot_file(snap, path);
@@ -377,6 +382,19 @@ void stop_metrics_snapshotter() {
   // Final snapshot: flush whatever the last interval missed (and produce
   // the only snapshot when interval_ms == 0).
   s.write_once();
+}
+
+bool flush_metrics_snapshot() {
+  if (g_metrics_disabled.load(std::memory_order_relaxed)) return false;
+  Snapshotter& s = snapshotter();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.running) return false;
+  }
+  // Synchronous: the snapshot is on disk (renamed into place) when this
+  // returns, which is what a drain sequence needs before it reports done.
+  s.write_once();
+  return true;
 }
 
 void metrics_disable() {

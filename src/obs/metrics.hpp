@@ -124,6 +124,13 @@ void start_metrics_snapshotter(const std::string& path, int interval_ms);
 /// so the last document on disk is always complete.
 void stop_metrics_snapshotter();
 
+/// Writes one immediate snapshot through the running snapshotter (seq
+/// advanced, same tmp+rename path) without stopping it. The drain hook
+/// for daemons: a graceful drain flushes the final counter state to disk
+/// even though the process may linger (or be SIGKILLed) afterwards.
+/// Returns false when no snapshotter is running.
+bool flush_metrics_snapshot();
+
 /// Serializes a snapshot to `path` via tmp+rename; false on I/O failure.
 /// Chooses Prometheus text when the path ends in ".prom", JSON otherwise.
 bool write_snapshot_file(const Snapshot& snapshot, const std::string& path);

@@ -1,0 +1,79 @@
+#include "serve/cache.hpp"
+
+#include "obs/counters.hpp"
+
+namespace rdc::serve {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t hash) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t hash) {
+  return fnv1a(s.data(), s.size(), hash);
+}
+
+}  // namespace
+
+std::uint64_t result_cache_key(std::string_view spec_bytes,
+                               std::string_view canonical_pipeline,
+                               std::uint64_t options_fingerprint) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = fnv1a(spec_bytes, hash);
+  hash = fnv1a("\x1f", hash);  // field separator: "ab"+"c" != "a"+"bc"
+  hash = fnv1a(canonical_pipeline, hash);
+  hash = fnv1a("\x1f", hash);
+  hash = fnv1a(&options_fingerprint, sizeof options_fingerprint, hash);
+  return hash;
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    obs::count(obs::Counter::kServeCacheMiss);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  obs::count(obs::Counter::kServeCacheHit);
+  return it->second->json;
+}
+
+void ResultCache::insert(std::uint64_t key, std::string report_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (report_json.size() + kEntryOverheadBytes > max_bytes_) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= entry_bytes(*it->second);
+    it->second->json = std::move(report_json);
+    bytes_ += entry_bytes(*it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front({key, std::move(report_json)});
+    index_[key] = lru_.begin();
+    bytes_ += entry_bytes(lru_.front());
+  }
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= entry_bytes(victim);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    obs::count(obs::Counter::kServeCacheEvict);
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hits_, misses_, evictions_, bytes_,
+          static_cast<std::uint64_t>(lru_.size())};
+}
+
+}  // namespace rdc::serve

@@ -1,0 +1,57 @@
+// Client side of the rdcsynd wire protocol: blocking submit with
+// deadline-bounded socket I/O, readiness probing, and transient-failure
+// retries.
+//
+// Retry policy reuses the execution layer's machinery end to end: the
+// transient/deterministic split is exec::outcome_is_transient — the same
+// predicate the process-isolation supervisor and the batch drivers use,
+// so "worth retrying" means one thing everywhere — and the wait between
+// attempts is exec::retry_backoff_ms, the supervisor's deterministic
+// jittered exponential backoff. A transport failure (refused connect,
+// dropped connection) is classified like a worker crash: transient. A
+// decoded error reply retries only when its StatusCode does
+// (kResourceExhausted from load shedding, kFaultInjected); parse and
+// argument errors never retry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exec/status.hpp"
+#include "exec/supervisor.hpp"
+#include "serve/protocol.hpp"
+
+namespace rdc::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  double io_timeout_ms = 30000.0;  ///< connect/read/write deadline
+  exec::RetryPolicy retry;         ///< max_attempts = 1 → no retry
+  /// Seed for the deterministic backoff jitter (job identity); callers
+  /// submitting many jobs should vary it per job.
+  std::uint64_t retry_key = 0;
+};
+
+struct SubmitResult {
+  exec::Status status;      ///< kOk with report_json, or the failure
+  std::string report_json;  ///< rdc.flow.report.v1 bytes (on OK)
+  bool cache_hit = false;
+  int attempts = 0;             ///< attempts actually made (≥ 1)
+  bool transport_error = false;  ///< last failure was I/O, not a reply
+};
+
+/// True when `result` is worth retrying, routed through
+/// exec::outcome_is_transient (a transport error counts as a crash).
+bool result_is_transient(const SubmitResult& result);
+
+/// Submits one job, retrying transient failures per options.retry. Each
+/// attempt is one connection: connect, write the request frame, read one
+/// reply frame. Never throws.
+SubmitResult submit_job(const ClientOptions& options,
+                        const JobRequest& request);
+
+/// Readiness probe: pings until the daemon answers or `wait_ms` elapses
+/// (connect-refused while the daemon is still binding is retried).
+exec::Status ping_server(const ClientOptions& options, double wait_ms);
+
+}  // namespace rdc::serve

@@ -1,0 +1,214 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace rdc::serve {
+namespace {
+
+void append_u32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+void append_str(std::string& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+std::uint32_t read_u32(std::string_view in, std::size_t at) {
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]));
+  };
+  return byte(0) | byte(1) << 8 | byte(2) << 16 | byte(3) << 24;
+}
+
+/// Cursor over a frame body: every read checks bounds and latches a
+/// truncation error instead of walking off the buffer.
+struct BodyReader {
+  std::string_view body;
+  std::size_t at = 0;
+  bool failed = false;
+
+  std::uint8_t u8() {
+    if (failed || at + 1 > body.size()) {
+      failed = true;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(body[at++]);
+  }
+
+  std::uint32_t u32() {
+    if (failed || at + 4 > body.size()) {
+      failed = true;
+      return 0;
+    }
+    const std::uint32_t value = read_u32(body, at);
+    at += 4;
+    return value;
+  }
+
+  std::string_view str() {
+    const std::uint32_t size = u32();
+    if (failed || at + size > body.size()) {
+      failed = true;
+      return {};
+    }
+    std::string_view s = body.substr(at, size);
+    at += size;
+    return s;
+  }
+
+  /// A well-formed body is consumed exactly; trailing bytes mean the
+  /// peer and we disagree about the encoding.
+  exec::Status finish(const char* what) const {
+    if (failed)
+      return {exec::StatusCode::kInvalidArgument,
+              std::string("truncated ") + what + " frame body"};
+    if (at != body.size())
+      return {exec::StatusCode::kInvalidArgument,
+              std::string(what) + " frame body has trailing bytes"};
+    return {};
+  }
+};
+
+bool valid_frame_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         type <= static_cast<std::uint8_t>(FrameType::kPong);
+}
+
+constexpr std::uint8_t kFlagNoCache = 1;
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view body) {
+  std::string out;
+  out.reserve(kHeaderBytes + body.size());
+  out.append(kMagic, sizeof kMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  append_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.append(body);
+  return out;
+}
+
+std::string encode_request(const JobRequest& request) {
+  std::string body;
+  body.reserve(9 + request.spec_pla.size() + request.pipeline.size() + 8);
+  body.push_back(
+      static_cast<char>(request.no_cache ? kFlagNoCache : std::uint8_t{0}));
+  append_u32(body, request.deadline_ms);
+  append_str(body, request.spec_pla);
+  append_str(body, request.pipeline);
+  return encode_frame(FrameType::kRequest, body);
+}
+
+std::string encode_report_reply(const ReportReply& reply) {
+  std::string body;
+  body.reserve(5 + reply.report_json.size());
+  body.push_back(static_cast<char>(reply.cache_hit ? 1 : 0));
+  append_str(body, reply.report_json);
+  return encode_frame(FrameType::kReportReply, body);
+}
+
+std::string encode_error_reply(const exec::Status& status) {
+  std::string body;
+  body.reserve(9 + status.message().size() + status.context().size());
+  body.push_back(static_cast<char>(status.code()));
+  append_str(body, status.message());
+  append_str(body, status.context());
+  return encode_frame(FrameType::kErrorReply, body);
+}
+
+exec::Status decode_request(std::string_view body, JobRequest& out) {
+  BodyReader r{body};
+  const std::uint8_t flags = r.u8();
+  out.deadline_ms = r.u32();
+  out.spec_pla = std::string(r.str());
+  out.pipeline = std::string(r.str());
+  exec::Status status = r.finish("request");
+  if (!status.ok()) return status;
+  if ((flags & ~kFlagNoCache) != 0)
+    return {exec::StatusCode::kInvalidArgument,
+            "request frame has unknown flag bits"};
+  out.no_cache = (flags & kFlagNoCache) != 0;
+  return {};
+}
+
+exec::Status decode_report_reply(std::string_view body, ReportReply& out) {
+  BodyReader r{body};
+  const std::uint8_t hit = r.u8();
+  out.report_json = std::string(r.str());
+  exec::Status status = r.finish("report reply");
+  if (!status.ok()) return status;
+  if (hit > 1)
+    return {exec::StatusCode::kInvalidArgument,
+            "report reply cache_hit byte out of range"};
+  out.cache_hit = hit == 1;
+  return {};
+}
+
+exec::Status decode_error_reply(std::string_view body, exec::Status& out) {
+  BodyReader r{body};
+  const std::uint8_t code = r.u8();
+  std::string message(r.str());
+  std::string context(r.str());
+  exec::Status status = r.finish("error reply");
+  if (!status.ok()) return status;
+  if (code > static_cast<std::uint8_t>(exec::StatusCode::kInternal))
+    return {exec::StatusCode::kInvalidArgument,
+            "error reply status code out of range"};
+  out = exec::Status::from_parts(static_cast<exec::StatusCode>(code),
+                                 std::move(message), std::move(context));
+  return {};
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (!error_.ok()) return Result::kError;
+  if (buffer_.size() < kHeaderBytes) {
+    // Reject a bad magic as soon as the prefix diverges — a client
+    // speaking a different protocol gets its error frame immediately
+    // instead of after the read deadline.
+    const std::size_t check = std::min(buffer_.size(), sizeof kMagic);
+    if (std::memcmp(buffer_.data(), kMagic, check) != 0) {
+      error_ = {exec::StatusCode::kInvalidArgument,
+                "bad frame magic (not an rdcsynd client?)"};
+      return Result::kError;
+    }
+    return Result::kNeedMore;
+  }
+  if (std::memcmp(buffer_.data(), kMagic, sizeof kMagic) != 0) {
+    error_ = {exec::StatusCode::kInvalidArgument,
+              "bad frame magic (not an rdcsynd client?)"};
+    return Result::kError;
+  }
+  const auto version = static_cast<std::uint8_t>(buffer_[4]);
+  if (version != kProtocolVersion) {
+    error_ = {exec::StatusCode::kInvalidArgument,
+              "unsupported protocol version " + std::to_string(version) +
+                  " (want " + std::to_string(kProtocolVersion) + ")"};
+    return Result::kError;
+  }
+  const auto type = static_cast<std::uint8_t>(buffer_[5]);
+  if (!valid_frame_type(type)) {
+    error_ = {exec::StatusCode::kInvalidArgument,
+              "unknown frame type " + std::to_string(type)};
+    return Result::kError;
+  }
+  const std::uint32_t body_size = read_u32(buffer_, 6);
+  if (body_size > max_body_) {
+    error_ = {exec::StatusCode::kResourceExhausted,
+              "frame body of " + std::to_string(body_size) +
+                  " bytes exceeds the " + std::to_string(max_body_) +
+                  "-byte limit"};
+    return Result::kError;
+  }
+  if (buffer_.size() < kHeaderBytes + body_size) return Result::kNeedMore;
+  out.type = static_cast<FrameType>(type);
+  out.body.assign(buffer_, kHeaderBytes, body_size);
+  buffer_.erase(0, kHeaderBytes + body_size);
+  return Result::kFrame;
+}
+
+}  // namespace rdc::serve

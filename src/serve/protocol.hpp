@@ -1,0 +1,128 @@
+// rdc::serve — wire protocol for the rdcsynd serving daemon
+// (DESIGN.md §15).
+//
+// Length-prefixed binary frames over a stream socket:
+//
+//   [4B magic "RDCS"][u8 version][u8 type][u32 LE body length][body]
+//
+// The header is 10 bytes; the body length is bounded (kMaxBodyBytes by
+// default, configurable per decoder) so a hostile length prefix can never
+// make the server buffer unboundedly. Framing errors — bad magic, unknown
+// version or type, oversized length — are unrecoverable for the stream:
+// once bytes are misaligned there is no resynchronization point, so the
+// decoder latches the error and the server replies with a Status frame
+// and closes after flushing it.
+//
+// Body encodings (all integers little-endian, all strings u32
+// length-prefixed):
+//
+//   kRequest      [u8 flags][u32 deadline_ms][str spec_pla][str pipeline]
+//   kReportReply  [u8 cache_hit][str report_json]
+//   kErrorReply   [u8 status code][str message][str context]
+//   kPing/kPong   (empty)
+//
+// The error reply carries all three Status fields, so the client
+// reconstructs a Status that compares equal to the server's — the
+// taxonomy survives the network hop losslessly.
+//
+// Every decode function is total: arbitrary bytes produce either a valid
+// value or a non-OK exec::Status, never a crash or a throw. The
+// fuzz_serve_frame target holds this contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exec/status.hpp"
+
+namespace rdc::serve {
+
+inline constexpr char kMagic[4] = {'R', 'D', 'C', 'S'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 10;
+/// Default upper bound on one frame body; a client needing bigger specs
+/// is a client that should be batching locally instead.
+inline constexpr std::size_t kMaxBodyBytes = std::size_t{16} << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,      ///< client → server: job submission
+  kReportReply = 2,  ///< server → client: rdc.flow.report.v1 JSON
+  kErrorReply = 3,   ///< server → client: serialized exec::Status
+  kPing = 4,         ///< client → server: readiness probe
+  kPong = 5,         ///< server → client: probe reply
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string body;
+};
+
+/// One job: the raw .pla spec bytes plus the pipeline spec string the
+/// §11 pass manager parses (byte-offset-annotated errors included).
+struct JobRequest {
+  std::string spec_pla;
+  std::string pipeline;
+  std::uint32_t deadline_ms = 0;  ///< per-request budget; 0 = server default
+  bool no_cache = false;          ///< bypass the result cache (load gen)
+};
+
+struct ReportReply {
+  bool cache_hit = false;
+  std::string report_json;
+};
+
+/// Wraps `body` in a framed header. Oversized bodies are a programming
+/// error on the sending side; the encoder clamps nothing and the peer's
+/// decoder will reject the frame.
+std::string encode_frame(FrameType type, std::string_view body);
+
+// Complete frames (header included), ready to write to a socket.
+std::string encode_request(const JobRequest& request);
+std::string encode_report_reply(const ReportReply& reply);
+std::string encode_error_reply(const exec::Status& status);
+
+// Body decoders. A non-OK return means the body is malformed (truncated
+// field, trailing garbage, out-of-range enum); `out` is unspecified then.
+exec::Status decode_request(std::string_view body, JobRequest& out);
+exec::Status decode_report_reply(std::string_view body, ReportReply& out);
+/// Decodes the serialized Status into `out`; the return value reports
+/// decoding itself (a malformed error frame is kInvalidArgument).
+exec::Status decode_error_reply(std::string_view body, exec::Status& out);
+
+/// Incremental frame decoder for one connection. feed() appends received
+/// bytes; next() extracts complete frames until the buffer holds only a
+/// prefix. A framing error (bad magic/version/type, oversized length) is
+/// terminal: next() returns kError forever after and error() names the
+/// problem.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_body_bytes = kMaxBodyBytes)
+      : max_body_(max_body_bytes) {}
+
+  void feed(const char* data, std::size_t size) {
+    buffer_.append(data, size);
+  }
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  enum class Result {
+    kFrame,     ///< `out` holds the next frame, consumed from the buffer
+    kNeedMore,  ///< buffer holds a valid (possibly empty) frame prefix
+    kError,     ///< unrecoverable framing error; see error()
+  };
+  Result next(Frame& out);
+
+  const exec::Status& error() const { return error_; }
+  /// True while undecoded bytes are pending — the read-deadline trigger:
+  /// a peer that starts a frame must finish it within the I/O timeout.
+  bool partial() const { return error_.ok() && !buffer_.empty(); }
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_body_;
+  std::string buffer_;
+  exec::Status error_;
+};
+
+}  // namespace rdc::serve

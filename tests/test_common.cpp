@@ -310,25 +310,35 @@ TEST(ThreadPool, PropagatesException) {
 }
 
 TEST(ThreadPool, PropagatesExceptionMessageAndStopsScheduling) {
-  ThreadPool pool(4);
   // After a throw the pool stops scheduling unclaimed indices (§10
   // fail-fast contract): everything below the throwing index still runs
   // (those indices were claimed first), the caller receives the first
   // error intact, and at least the already-claimed tail may run too.
-  std::atomic<int> executed{0};
-  std::atomic<std::uint64_t> below_three{0};
-  try {
-    pool.parallel_for(0, 1 << 14, [&](std::uint64_t i) {
-      if (i == 3) throw std::runtime_error("index 3 failed");
-      executed.fetch_add(1);
-      if (i < 3) below_three.fetch_add(1);
-    });
-    FAIL() << "expected std::runtime_error";
-  } catch (const std::runtime_error& error) {
-    EXPECT_STREQ(error.what(), "index 3 failed");
+  //
+  // Tail cancellation is best-effort, not deterministic: `stop` is only
+  // published after the throwing body unwinds, so if the OS deschedules
+  // the worker right after it claims the throwing index, its peers can
+  // legally drain the whole range first. Assert the cancellation half
+  // over a few rounds; the deterministic halves stay strict every round.
+  bool tail_cancelled = false;
+  for (int round = 0; round < 5 && !tail_cancelled; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    std::atomic<std::uint64_t> below_three{0};
+    try {
+      pool.parallel_for(0, 1 << 14, [&](std::uint64_t i) {
+        if (i == 3) throw std::runtime_error("index 3 failed");
+        executed.fetch_add(1);
+        if (i < 3) below_three.fetch_add(1);
+      });
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "index 3 failed");
+    }
+    EXPECT_EQ(below_three.load(), 3u);  // lower indices always complete
+    tail_cancelled = executed.load() < (1 << 14) - 1;
   }
-  EXPECT_EQ(below_three.load(), 3u);          // lower indices always complete
-  EXPECT_LT(executed.load(), (1 << 14) - 1);  // the tail was cancelled
+  EXPECT_TRUE(tail_cancelled);  // the tail was cancelled in some round
 }
 
 TEST(ThreadPool, LowestThrowingIndexWinsDeterministically) {

@@ -698,6 +698,50 @@ TEST(PipelineBatch, IsolatesPerCircuitFailures) {
   EXPECT_NE(rows->array[0].find("gates"), nullptr);
 }
 
+TEST(PipelineBatch, RetriesShareTheSupervisorsTransientPredicate) {
+  std::vector<IncompleteSpec> specs;
+  specs.push_back(builtin_spec());
+  const flow::Pipeline pipeline = parse_ok("assign:zero | espresso");
+
+  // An armed espresso fault site throws kFaultInjected on every hit, so
+  // each attempt fails transiently: the batch must burn all attempts
+  // (outcome_is_transient says kFaultInjected retries) and stamp the
+  // count into the row.
+  {
+    FaultSpecGuard guard("espresso:1");
+    flow::BatchOptions options;
+    options.retry.max_attempts = 3;
+    options.retry.base_backoff_ms = 0.01;
+    const flow::BatchResult batch =
+        flow::run_pipeline_batch(pipeline, specs, options);
+    EXPECT_EQ(batch.failures, 1u);
+    EXPECT_EQ(batch.results[0].status.code(), StatusCode::kFaultInjected);
+    std::string error;
+    const auto parsed = obs::parse_json(batch.report.to_json(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->find("rows")->array[0].find("attempts")->number, 3.0);
+  }
+
+  // A clean run with retries enabled succeeds on attempt 1 — the stamp
+  // records the truth, not the budget.
+  {
+    flow::BatchOptions options;
+    options.retry.max_attempts = 3;
+    const flow::BatchResult batch =
+        flow::run_pipeline_batch(pipeline, specs, options);
+    EXPECT_EQ(batch.failures, 0u);
+    std::string error;
+    const auto parsed = obs::parse_json(batch.report.to_json(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->find("rows")->array[0].find("attempts")->number, 1.0);
+  }
+
+  // Single-shot batches (the default) must not grow an attempts field:
+  // report documents stay byte-compatible with earlier releases.
+  const flow::BatchResult batch = flow::run_pipeline_batch(pipeline, specs);
+  EXPECT_EQ(batch.report.to_json().find("\"attempts\""), std::string::npos);
+}
+
 // --- sampled error-rate pass ----------------------------------------------
 
 TEST(PipelineSampled, ParsesValidatesAndRoundTrips) {

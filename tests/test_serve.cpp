@@ -1,0 +1,559 @@
+// Tests for the rdcsynd serving layer (DESIGN.md §15): wire-protocol
+// round trips (every StatusCode survives the network hop losslessly),
+// hardened frame decoding (malformed bytes become Statuses, never
+// crashes), the content-addressed result cache (byte-identical warm
+// replies, LRU eviction under the byte cap), and the daemon end to end
+// over a real unix socket — warm-cache pairs, admission-control
+// shedding, retry classification, and graceful drain with its
+// serve.drain event.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/shutdown.hpp"
+#include "exec/status.hpp"
+#include "obs/counters.hpp"
+#include "obs/events.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define RDC_TEST_SERVE_POSIX 1
+#endif
+
+namespace rdc {
+namespace {
+
+using exec::Status;
+using exec::StatusCode;
+
+// --- protocol round trips -------------------------------------------------
+
+serve::Frame decode_one(const std::string& bytes) {
+  serve::FrameDecoder decoder;
+  decoder.feed(bytes);
+  serve::Frame frame;
+  EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kFrame);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(ServeProtocol, StatusRoundTripsAllCodes) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kParseError,   StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,    StatusCode::kResourceExhausted,
+      StatusCode::kFaultInjected, StatusCode::kUnavailable,
+      StatusCode::kInternal,
+  };
+  for (const StatusCode code : codes) {
+    // Awkward message bytes on purpose: quotes, newlines, NULs survive
+    // because strings travel length-prefixed, not delimited.
+    Status status(code, std::string("fail \"here\"\n\x01 and") +
+                            std::string(1, '\0') + "after");
+    status = status.with_context("inner frame").with_context("outer frame");
+    const serve::Frame frame = decode_one(serve::encode_error_reply(status));
+    ASSERT_EQ(frame.type, serve::FrameType::kErrorReply);
+    Status decoded;
+    ASSERT_TRUE(serve::decode_error_reply(frame.body, decoded).ok());
+    EXPECT_EQ(decoded, status) << exec::status_code_name(code);
+    EXPECT_EQ(decoded.to_string(), status.to_string());
+  }
+}
+
+TEST(ServeProtocol, RequestRoundTrips) {
+  serve::JobRequest request;
+  request.spec_pla = ".i 1\n.o 1\n.p 1\n1 1\n.e\n";
+  request.pipeline = "assign:zero | espresso";
+  request.deadline_ms = 1234;
+  request.no_cache = true;
+  const serve::Frame frame = decode_one(serve::encode_request(request));
+  ASSERT_EQ(frame.type, serve::FrameType::kRequest);
+  serve::JobRequest round;
+  ASSERT_TRUE(serve::decode_request(frame.body, round).ok());
+  EXPECT_EQ(round.spec_pla, request.spec_pla);
+  EXPECT_EQ(round.pipeline, request.pipeline);
+  EXPECT_EQ(round.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(round.no_cache, request.no_cache);
+}
+
+TEST(ServeProtocol, ReportReplyRoundTrips) {
+  serve::ReportReply reply{true, "{\"schema\": \"rdc.flow.report.v1\"}"};
+  const serve::Frame frame = decode_one(serve::encode_report_reply(reply));
+  ASSERT_EQ(frame.type, serve::FrameType::kReportReply);
+  serve::ReportReply round;
+  ASSERT_TRUE(serve::decode_report_reply(frame.body, round).ok());
+  EXPECT_TRUE(round.cache_hit);
+  EXPECT_EQ(round.report_json, reply.report_json);
+}
+
+// --- hardened decoding ----------------------------------------------------
+
+TEST(ServeProtocol, DecoderRejectsBadMagic) {
+  serve::FrameDecoder decoder;
+  decoder.feed("XXXXxxxxxx");
+  serve::Frame frame;
+  EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kError);
+  EXPECT_EQ(decoder.error().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoder.error().message().find("magic"), std::string::npos);
+  // The error latches: feeding valid bytes afterwards cannot resync.
+  decoder.feed(serve::encode_frame(serve::FrameType::kPing, ""));
+  EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kError);
+}
+
+TEST(ServeProtocol, DecoderDetectsBadMagicFromFirstDivergingByte) {
+  // "R" then "X": diverges at byte 2 of the magic — no need to wait for
+  // a full header to reject.
+  serve::FrameDecoder decoder;
+  decoder.feed("RX");
+  serve::Frame frame;
+  EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kError);
+}
+
+TEST(ServeProtocol, DecoderRejectsBadVersionTypeAndOversizedLength) {
+  {
+    std::string bytes = serve::encode_frame(serve::FrameType::kPing, "");
+    bytes[4] = 9;  // version
+    serve::FrameDecoder decoder;
+    decoder.feed(bytes);
+    serve::Frame frame;
+    EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kError);
+    EXPECT_EQ(decoder.error().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(decoder.error().message().find("version"), std::string::npos);
+  }
+  {
+    std::string bytes = serve::encode_frame(serve::FrameType::kPing, "");
+    bytes[5] = 99;  // type
+    serve::FrameDecoder decoder;
+    decoder.feed(bytes);
+    serve::Frame frame;
+    EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kError);
+    EXPECT_EQ(decoder.error().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Hostile length prefix: 0xffffffff must be rejected up front, not
+    // buffered toward.
+    std::string bytes = serve::encode_frame(serve::FrameType::kPing, "");
+    bytes[6] = bytes[7] = bytes[8] = bytes[9] = '\xff';
+    serve::FrameDecoder decoder(1 << 16);
+    decoder.feed(bytes);
+    serve::Frame frame;
+    EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kError);
+    EXPECT_EQ(decoder.error().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ServeProtocol, DecoderHandlesTruncationAndByteAtATimeFeeding) {
+  serve::JobRequest request;
+  request.spec_pla = "spec";
+  request.pipeline = "espresso";
+  const std::string bytes = serve::encode_request(request);
+
+  serve::FrameDecoder decoder;
+  serve::Frame frame;
+  EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kNeedMore);
+  EXPECT_FALSE(decoder.partial());  // empty buffer: nothing pending
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    decoder.feed(bytes.data() + i, 1);
+    if (i + 1 < bytes.size()) {
+      EXPECT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kNeedMore);
+      EXPECT_TRUE(decoder.partial()) << i;  // read-deadline trigger
+    }
+  }
+  ASSERT_EQ(decoder.next(frame), serve::FrameDecoder::Result::kFrame);
+  EXPECT_FALSE(decoder.partial());
+  serve::JobRequest round;
+  ASSERT_TRUE(serve::decode_request(frame.body, round).ok());
+  EXPECT_EQ(round.spec_pla, request.spec_pla);
+}
+
+TEST(ServeProtocol, BodyDecodersRejectTruncationAndTrailingBytes) {
+  serve::JobRequest request;
+  request.spec_pla = "spec";
+  request.pipeline = "espresso";
+  const serve::Frame frame = decode_one(serve::encode_request(request));
+
+  serve::JobRequest out;
+  Status status =
+      serve::decode_request(frame.body.substr(0, frame.body.size() - 1), out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
+
+  status = serve::decode_request(frame.body + "x", out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing"), std::string::npos);
+
+  // Unknown request flag bits are a forward-compatibility error, not
+  // silently ignored.
+  std::string flagged = frame.body;
+  flagged[0] = '\x80';
+  EXPECT_EQ(serve::decode_request(flagged, out).code(),
+            StatusCode::kInvalidArgument);
+
+  // An error reply carrying an out-of-range StatusCode is malformed.
+  Status decoded;
+  std::string error_body =
+      decode_one(serve::encode_error_reply({StatusCode::kInternal, "x"}))
+          .body;
+  error_body[0] = '\x7f';
+  EXPECT_EQ(serve::decode_error_reply(error_body, decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- result cache ---------------------------------------------------------
+
+TEST(ServeCache, KeySeparatesFields) {
+  // Field separators prevent concatenation aliasing between spec and
+  // pipeline bytes.
+  EXPECT_NE(serve::result_cache_key("ab", "c", 0),
+            serve::result_cache_key("a", "bc", 0));
+  EXPECT_NE(serve::result_cache_key("a", "b", 0),
+            serve::result_cache_key("a", "b", 1));
+  EXPECT_EQ(serve::result_cache_key("a", "b", 7),
+            serve::result_cache_key("a", "b", 7));
+}
+
+TEST(ServeCache, HitRefreshesAndMissCounts) {
+  serve::ResultCache cache(1 << 20);
+  const std::uint64_t key = serve::result_cache_key("s", "p", 0);
+  EXPECT_EQ(cache.lookup(key), std::nullopt);
+  cache.insert(key, "{\"report\": 1}");
+  const std::optional<std::string> hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"report\": 1}");
+  const serve::ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsedUnderByteCap) {
+  // Cap fits exactly two entries (payload 4 bytes + overhead each).
+  const std::uint64_t entry = 4 + serve::ResultCache::kEntryOverheadBytes;
+  serve::ResultCache cache(2 * entry);
+  cache.insert(1, "aaaa");
+  cache.insert(2, "bbbb");
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 is now most recent
+  cache.insert(3, "cccc");                   // evicts 2, the LRU
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  const serve::ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, 2 * entry);
+}
+
+TEST(ServeCache, OversizedEntriesAreNotCached) {
+  serve::ResultCache cache(64);  // smaller than any entry's overhead
+  cache.insert(1, std::string(1024, 'x'));
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ServeCache, InsertRefreshesExistingKey) {
+  serve::ResultCache cache(1 << 20);
+  cache.insert(1, "old");
+  cache.insert(1, "new");
+  EXPECT_EQ(cache.lookup(1), std::optional<std::string>("new"));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+#if defined(RDC_TEST_SERVE_POSIX)
+
+// --- daemon end to end ----------------------------------------------------
+
+constexpr const char* kSpecPla = R"(.i 4
+.o 2
+.type fd
+.p 8
+0000 1-
+0011 11
+01-- -1
+1000 --
+1011 1-
+110- -0
+1111 1-
+1010 -1
+.e
+)";
+constexpr const char* kPipeline = "assign:zero | espresso";
+
+struct ServeFixture {
+  std::string dir;
+  std::string socket_path;
+
+  ServeFixture() {
+    char tmpl[] = "/tmp/rdc_serve_test_XXXXXX";
+    dir = mkdtemp(tmpl);
+    socket_path = dir + "/rdcsynd.sock";
+    exec::testing::reset_shutdown();
+    obs::set_events_capture(true);
+    obs::drain_events();
+  }
+  ~ServeFixture() {
+    obs::set_events_capture(false);
+    unlink(socket_path.c_str());
+    rmdir(dir.c_str());
+  }
+
+  serve::ServerOptions server_options() const {
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.executor_threads = 2;
+    options.io_timeout_ms = 10000;
+    options.drain_deadline_ms = 2000;
+    return options;
+  }
+  serve::ClientOptions client_options() const {
+    serve::ClientOptions options;
+    options.socket_path = socket_path;
+    options.io_timeout_ms = 10000;
+    return options;
+  }
+  serve::JobRequest request() const {
+    serve::JobRequest r;
+    r.spec_pla = kSpecPla;
+    r.pipeline = kPipeline;
+    return r;
+  }
+};
+
+TEST(ServeDaemon, WarmCacheHitReturnsByteIdenticalReport) {
+  ServeFixture fx;
+  serve::Server server(fx.server_options());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+
+  const serve::SubmitResult cold =
+      serve::submit_job(fx.client_options(), fx.request());
+  ASSERT_TRUE(cold.status.ok()) << cold.status.to_string();
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_NE(cold.report_json.find("rdc.flow.report.v1"), std::string::npos);
+
+  // Same spec, same pipeline spelled differently: canonicalization means
+  // it still hits, and the reply is byte-identical to the cold run.
+  serve::JobRequest warm_request = fx.request();
+  warm_request.pipeline = "assign:zero|espresso";
+  const serve::SubmitResult warm =
+      serve::submit_job(fx.client_options(), warm_request);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.to_string();
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.report_json, cold.report_json);
+
+  // no_cache bypasses the lookup: a fresh run, not a hit.
+  serve::JobRequest bypass = fx.request();
+  bypass.no_cache = true;
+  const serve::SubmitResult uncached =
+      serve::submit_job(fx.client_options(), bypass);
+  ASSERT_TRUE(uncached.status.ok());
+  EXPECT_FALSE(uncached.cache_hit);
+
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 2u);  // cold + no_cache; the hit never queued
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(server.cache().stats().hits, 1u);
+  server.drain(0);
+}
+
+TEST(ServeDaemon, MalformedRequestsGetStatusRepliesNotCrashes) {
+  ServeFixture fx;
+  serve::Server server(fx.server_options());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+
+  // Unparseable pipeline: kInvalidArgument with a byte offset, and the
+  // client must not burn retries on it (deterministic failure).
+  serve::ClientOptions retrying = fx.client_options();
+  retrying.retry.max_attempts = 3;
+  retrying.retry.base_backoff_ms = 1;
+  serve::JobRequest bad_pipeline = fx.request();
+  bad_pipeline.pipeline = "espresso | nosuchpass";
+  serve::SubmitResult result = serve::submit_job(retrying, bad_pipeline);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status.message().find("at offset"), std::string::npos);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_FALSE(result.transport_error);
+
+  // Unparseable spec bytes: the job runs and fails with kParseError.
+  serve::JobRequest bad_spec = fx.request();
+  bad_spec.spec_pla = "this is not a pla file";
+  result = serve::submit_job(retrying, bad_spec);
+  EXPECT_EQ(result.status.code(), StatusCode::kParseError);
+  EXPECT_EQ(result.attempts, 1);
+
+  // The daemon survived all of it.
+  EXPECT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+  EXPECT_EQ(server.stats().errors, 1u);
+  server.drain(0);
+}
+
+TEST(ServeDaemon, GarbageBytesGetFramingErrorReplyThenClose) {
+  ServeFixture fx;
+  serve::Server server(fx.server_options());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+
+  // Raw socket: send bytes that cannot be a frame.
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, fx.socket_path.c_str(),
+              fx.socket_path.size() + 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr),
+            0);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(send(fd, garbage, sizeof garbage - 1, 0), 0);
+
+  // The server replies with a serialized kInvalidArgument, then closes.
+  serve::FrameDecoder decoder;
+  serve::Frame frame;
+  std::string bytes;
+  char buf[4096];
+  bool got_frame = false, got_eof = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (poll(&pfd, 1, 100) <= 0) continue;
+    const ssize_t n = read(fd, buf, sizeof buf);
+    if (n == 0) {
+      got_eof = true;
+      break;
+    }
+    if (n < 0) continue;
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    if (!got_frame &&
+        decoder.next(frame) == serve::FrameDecoder::Result::kFrame)
+      got_frame = true;
+  }
+  close(fd);
+  ASSERT_TRUE(got_frame);
+  EXPECT_TRUE(got_eof);  // framing errors are terminal for the stream
+  ASSERT_EQ(frame.type, serve::FrameType::kErrorReply);
+  Status decoded;
+  ASSERT_TRUE(serve::decode_error_reply(frame.body, decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.message().find("magic"), std::string::npos);
+
+  EXPECT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+  server.drain(0);
+}
+
+TEST(ServeDaemon, OverloadIsShedWithResourceExhausted) {
+  ServeFixture fx;
+  serve::ServerOptions options = fx.server_options();
+  options.max_queue_depth = 0;  // every admission attempt sheds
+  serve::Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+
+  // Shedding is transient, so the client retries — and each retry is
+  // shed again, proving the rejection is stable, bounded, and fast.
+  serve::ClientOptions retrying = fx.client_options();
+  retrying.retry.max_attempts = 3;
+  retrying.retry.base_backoff_ms = 1;
+  const serve::SubmitResult result =
+      serve::submit_job(retrying, fx.request());
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status.message().find("admission queue full"),
+            std::string::npos);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_TRUE(serve::result_is_transient(result));
+  EXPECT_EQ(server.stats().shed, 3u);
+  EXPECT_EQ(server.stats().accepted, 0u);
+  server.drain(0);
+}
+
+TEST(ServeDaemon, QueueAdmitsUpToDepthThenSheds) {
+  ServeFixture fx;
+  serve::ServerOptions options = fx.server_options();
+  options.max_queue_depth = 1;
+  options.executor_threads = 1;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+  server.set_executors_paused(true);
+
+  // First request parks in the queue (executors paused)...
+  std::thread first([&] {
+    const serve::SubmitResult queued =
+        serve::submit_job(fx.client_options(), fx.request());
+    EXPECT_TRUE(queued.status.ok()) << queued.status.to_string();
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().accepted == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(server.stats().accepted, 1u);
+
+  // ...so the second one finds the queue full and is shed. Distinct
+  // spec bytes keep it off the first request's eventual cache entry.
+  serve::JobRequest second = fx.request();
+  second.spec_pla += "\n";
+  const serve::SubmitResult shed =
+      serve::submit_job(fx.client_options(), second);
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().shed, 1u);
+
+  server.set_executors_paused(false);
+  first.join();
+  server.drain(0);
+}
+
+TEST(ServeDaemon, DrainEmitsServeDrainEventAndIsIdempotent) {
+  ServeFixture fx;
+  serve::Server server(fx.server_options());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(serve::ping_server(fx.client_options(), 5000).ok());
+  ASSERT_TRUE(
+      serve::submit_job(fx.client_options(), fx.request()).status.ok());
+
+  server.drain(15);
+  server.drain(15);  // idempotent: the second call is a no-op
+
+  std::size_t drain_events = 0;
+  std::string drain_line;
+  for (const std::string& line : obs::drain_events())
+    if (line.find("\"event\": \"serve.drain\"") != std::string::npos) {
+      ++drain_events;
+      drain_line = line;
+    }
+  ASSERT_EQ(drain_events, 1u);
+  EXPECT_NE(drain_line.find("\"signal\": 15"), std::string::npos);
+  EXPECT_NE(drain_line.find("\"accepted\": 1"), std::string::npos);
+  EXPECT_NE(drain_line.find("\"completed\": 1"), std::string::npos);
+  EXPECT_NE(drain_line.find("\"shed\": 0"), std::string::npos);
+  EXPECT_NE(drain_line.find("\"cache_hits\": 0"), std::string::npos);
+
+  // A post-drain submit fails with a transport error (socket unlinked),
+  // not a hang.
+  serve::ClientOptions options = fx.client_options();
+  options.io_timeout_ms = 1000;
+  const serve::SubmitResult late = serve::submit_job(options, fx.request());
+  EXPECT_FALSE(late.status.ok());
+  EXPECT_TRUE(late.transport_error);
+}
+
+#endif  // RDC_TEST_SERVE_POSIX
+
+}  // namespace
+}  // namespace rdc

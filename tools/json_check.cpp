@@ -87,11 +87,14 @@ const char* const* event_required_keys(const std::string& event) {
                                        "backoff_ms", nullptr};
   static const char* const kResume[] = {"journal", "resumed", nullptr};
   static const char* const kShutdown[] = {"signal", nullptr};
+  static const char* const kDrain[] = {"signal",    "accepted", "shed",
+                                       "completed", "cache_hits", nullptr};
   if (event == "job.spawn") return kSpawn;
   if (event == "job.crash") return kCrash;
   if (event == "retry.attempt") return kRetry;
   if (event == "batch.resume") return kResume;
   if (event == "process.shutdown") return kShutdown;
+  if (event == "serve.drain") return kDrain;
   return nullptr;
 }
 
