@@ -24,11 +24,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "flow/batch_supervisor.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/synthesis_flow.hpp"
+#include "serve/cache.hpp"
 #include "mapper/liberty.hpp"
 #include "io/aiger.hpp"
 #include "io/blif.hpp"
@@ -71,6 +74,10 @@ int usage() {
       "      failures only, jittered backoff). Pipeline specs look\n"
       "      like \"assign:ranking(0.5) | espresso | factor | aig |\n"
       "      map:power | analyze | error_rate\".\n"
+      "  rdcsyn_cli cachekey <in.pla> --pipeline \"<spec>\"\n"
+      "      Prints the serve result-cache key (hex) for the spec bytes +\n"
+      "      canonical pipeline + default flow options; pipelines with\n"
+      "      different @model annotations yield different keys.\n"
       "  rdcsyn_cli renode <in.pla> [--threshold T]\n"
       "      Section-4 extension: conventional synthesis, then nodal\n"
       "      decomposition with internal-DC reassignment; reports internal\n"
@@ -243,6 +250,34 @@ int cmd_pipeline(const Args& args) {
   return 0;
 }
 
+/// `cachekey <in.pla> --pipeline "<spec>"`: the serve result-cache key for
+/// (spec bytes, canonical pipeline, default flow-options fingerprint) —
+/// exactly what rdcsynd computes for a request, so CI can assert that two
+/// differently-annotated pipelines never share a cache entry.
+int cmd_cachekey(const Args& args) {
+  if (args.pipeline.empty()) {
+    std::fprintf(stderr, "cachekey: --pipeline \"<spec>\" is required\n");
+    return 2;
+  }
+  exec::Result<flow::Pipeline> pipeline = flow::parse_pipeline(args.pipeline);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.status().to_string().c_str());
+    return 2;
+  }
+  std::ifstream in(args.input, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.input.c_str());
+    return 1;
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  const std::uint64_t key = serve::result_cache_key(
+      bytes.str(), pipeline->to_string(),
+      flow::flow_options_fingerprint(FlowOptions{}, exec::BudgetLimits{}));
+  std::printf("%016llx\n", static_cast<unsigned long long>(key));
+  return 0;
+}
+
 int cmd_batch(const Args& args) {
   if (args.pipeline.empty()) {
     std::fprintf(stderr, "batch: --pipeline \"<spec>\" is required\n");
@@ -410,6 +445,7 @@ int main(int argc, char** argv) {
     if (command == "assign") return cmd_assign(args);
     if (command == "synth") return cmd_synth(args);
     if (command == "batch") return cmd_batch(args);
+    if (command == "cachekey") return cmd_cachekey(args);
     if (command == "renode") return cmd_renode(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -117,6 +117,42 @@ grep -q "at offset" "$smoke_dir/parse_err.txt" || {
 }
 
 echo
+echo "== §16 cross-model smoke: fault models =="
+# One fixture under the default bit-flip model and under stuck-at faults;
+# both reports must validate and name the model that ran (rdc_json_check
+# rejects unknown metrics.fault_model values for rdc.flow.report.v1).
+xmodel_pipe_bitflip="assign:ranking(0.5)@bitflip | espresso | factor | aig | map:power | analyze | error_rate@bitflip"
+xmodel_pipe_stuckat="assign:ranking(0.5)@stuckat | espresso | factor | aig | map:power | analyze | error_rate@stuckat"
+./build/examples/rdcsyn_cli synth examples/fixtures/builtin.pla \
+  --pipeline "$xmodel_pipe_bitflip" \
+  --json "$smoke_dir/xmodel_bitflip.json" > /dev/null
+./build/tools/rdc_json_check "$smoke_dir/xmodel_bitflip.json" \
+  schema metrics.error_rate metrics.fault_model
+grep -q '"fault_model": "bitflip"' "$smoke_dir/xmodel_bitflip.json" || {
+  echo "cross-model smoke: bitflip report lacks the model label" >&2
+  exit 1
+}
+./build/examples/rdcsyn_cli synth examples/fixtures/builtin.pla \
+  --pipeline "$xmodel_pipe_stuckat" \
+  --json "$smoke_dir/xmodel_stuckat.json" > /dev/null
+./build/tools/rdc_json_check "$smoke_dir/xmodel_stuckat.json" \
+  schema metrics.error_rate metrics.fault_model
+grep -q '"fault_model": "stuckat"' "$smoke_dir/xmodel_stuckat.json" || {
+  echo "cross-model smoke: stuckat report lacks the model label" >&2
+  exit 1
+}
+# Serve-cache keys must differ across models for the same spec bytes —
+# the annotation flows into the canonical pipeline string and the key.
+key_bitflip=$(./build/examples/rdcsyn_cli cachekey examples/fixtures/builtin.pla \
+  --pipeline "$xmodel_pipe_bitflip")
+key_stuckat=$(./build/examples/rdcsyn_cli cachekey examples/fixtures/builtin.pla \
+  --pipeline "$xmodel_pipe_stuckat")
+if [ "$key_bitflip" = "$key_stuckat" ]; then
+  echo "cross-model smoke: cache keys alias across fault models" >&2
+  exit 1
+fi
+
+echo
 echo "== §10 fault-isolation smoke =="
 # Run A: one healthy circuit, one malformed BLIF, one circuit engineered to
 # blow a per-circuit deadline. The harness must finish with one row each:

@@ -186,6 +186,11 @@ std::uint64_t flow_options_fingerprint(const FlowOptions& options,
   hash = mix_double(hash, budget.deadline_ms);
   hash = mix_u64(hash, budget.max_checkpoints);
   hash = mix_u64(hash, budget.max_rss_bytes);
+  // Mixed only for non-default models: every fingerprint computed before
+  // fault models existed stays byte-for-byte valid (warm serve caches,
+  // resumable journals), while distinct models can never alias.
+  if (!options.fault_model.is_default())
+    hash = mix_u64(hash, options.fault_model.fingerprint());
   return hash;
 }
 

@@ -11,7 +11,9 @@
 #include "decomp/renode.hpp"
 #include "mapper/tree_map.hpp"
 #include "obs/counters.hpp"
+#include "reliability/complexity.hpp"
 #include "reliability/error_rate.hpp"
+#include "reliability/fault_model.hpp"
 #include "reliability/sampling.hpp"
 #include "sop/extract.hpp"
 
@@ -74,6 +76,20 @@ ErrorRateTracker& Design::error_tracker() {
   return error_tracker_;
 }
 
+const reliability::FaultModel& Design::fault_model(
+    const reliability::FaultModelSpec& model) {
+  for (const auto& [spec, analyzer] : fault_models_)
+    if (spec == model) return *analyzer;
+  fault_models_.emplace_back(model, reliability::make_fault_model(model));
+  return *fault_models_.back().second;
+}
+
+exec::Status Pass::set_fault_model(const reliability::FaultModelSpec&) {
+  return exec::Status(exec::StatusCode::kInvalidArgument,
+                      std::string("pass '") + name() +
+                          "' does not accept a fault model annotation");
+}
+
 exec::Status Design::require(Artifact artifact, const char* who) const {
   if (has(artifact)) return {};
   return exec::Status(exec::StatusCode::kInvalidArgument,
@@ -110,6 +126,84 @@ bool parse_unsigned_arg(const std::string& text, unsigned& out) {
 
 // --- DC assignment -------------------------------------------------------
 
+/// Model-aware generalization of ranking_assign: candidates are ranked by
+/// |if_on - if_off| event mass under the chosen fault model and assigned to
+/// the phase adding the smaller mass. With bitflip(1) events (if_on = off
+/// neighbors, if_off = on neighbors) this reproduces the paper's ranked
+/// list decision-for-decision; the default pipeline still routes through
+/// the integer ranking_assign path, so its reports stay bit-identical.
+AssignmentResult model_ranking_assign(IncompleteSpec& working,
+                                      const IncompleteSpec& spec,
+                                      double fraction,
+                                      std::span<const NeighborTable> tables,
+                                      const reliability::FaultModel& model) {
+  struct Candidate {
+    std::uint32_t minterm;
+    double weight;
+    bool to_on;
+  };
+  AssignmentResult total;
+  for (unsigned o = 0; o < working.num_outputs(); ++o) {
+    TernaryTruthTable& f = working.output(o);
+    total.dc_before += f.dc_count();
+    const TernaryTruthTable& g = spec.output(o);
+    const std::vector<std::uint32_t> dcs = g.dc_minterms();
+    const std::vector<reliability::MintermEvents> events =
+        model.dc_assignment_events(g, tables[o]);
+    std::vector<Candidate> list;
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      const double w = std::abs(events[i].if_on - events[i].if_off);
+      if (w > 0.0)
+        list.push_back({dcs[i], w, events[i].if_on < events[i].if_off});
+    }
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.weight > b.weight;
+                     });
+    const auto count = std::min(
+        list.size(), static_cast<std::size_t>(std::llround(
+                         fraction * static_cast<double>(list.size()))));
+    for (std::size_t i = 0; i < count; ++i) {
+      f.set_phase(list[i].minterm,
+                  list[i].to_on ? Phase::kOne : Phase::kZero);
+      ++total.assigned;
+      if (list[i].to_on) ++total.assigned_on;
+    }
+  }
+  obs::count(obs::Counter::kDcRankingAssigned, total.assigned);
+  return total;
+}
+
+/// Model-aware lcf_assign: the LC^f admission gate is unchanged (it
+/// measures spec structure, not the fault scenario); the phase decision and
+/// the tie filter use the model's event masses instead of neighbor counts.
+AssignmentResult model_lcf_assign(IncompleteSpec& working,
+                                  const IncompleteSpec& spec, double threshold,
+                                  bool assign_balanced,
+                                  std::span<const NeighborTable> tables,
+                                  const reliability::FaultModel& model) {
+  AssignmentResult total;
+  for (unsigned o = 0; o < working.num_outputs(); ++o) {
+    TernaryTruthTable& f = working.output(o);
+    total.dc_before += f.dc_count();
+    const TernaryTruthTable& g = spec.output(o);
+    const std::vector<std::uint32_t> dcs = g.dc_minterms();
+    const std::vector<reliability::MintermEvents> events =
+        model.dc_assignment_events(g, tables[o]);
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      if (local_complexity_factor(g, tables[o], dcs[i]) >= threshold)
+        continue;
+      if (!assign_balanced && events[i].if_on == events[i].if_off) continue;
+      const bool to_on = events[i].if_on < events[i].if_off;
+      f.set_phase(dcs[i], to_on ? Phase::kOne : Phase::kZero);
+      ++total.assigned;
+      if (to_on) ++total.assigned_on;
+    }
+  }
+  obs::count(obs::Counter::kDcLcfAssigned, total.assigned);
+  return total;
+}
+
 class AssignPass final : public Pass {
  public:
   enum class Kind { kConventional, kRanking, kRankingInc, kLcf, kAll, kZero };
@@ -135,12 +229,30 @@ class AssignPass final : public Pass {
     switch (kind_) {
       case Kind::kRanking:
       case Kind::kRankingInc:
-        return std::string(name()) + "(" + format_double(param_) + ")";
+        return std::string(name()) + "(" + format_double(param_) + ")" +
+               model_suffix();
       case Kind::kLcf:
         return std::string(name()) + "(" + format_double(param_) +
-               (balanced_ ? ",balanced)" : ")");
+               (balanced_ ? ",balanced)" : ")") + model_suffix();
+      case Kind::kAll:
+        return std::string(name()) + model_suffix();
       default:
         return name();
+    }
+  }
+
+  exec::Status set_fault_model(
+      const reliability::FaultModelSpec& model) override {
+    switch (kind_) {
+      case Kind::kRanking:
+      case Kind::kRankingInc:
+      case Kind::kLcf:
+      case Kind::kAll:
+        return accept_fault_model(model);
+      default:
+        // conventional/zero never consult a fault model — annotating them
+        // would silently do nothing, so reject like any other pass.
+        return Pass::set_fault_model(model);
     }
   }
 
@@ -149,6 +261,16 @@ class AssignPass final : public Pass {
     IncompleteSpec& working = design.working();
     AssignmentResult result;
     const char* policy = "";
+    const reliability::FaultModelSpec& model = effective_fault_model(design);
+    const bool reliability_kind =
+        kind_ == Kind::kRanking || kind_ == Kind::kRankingInc ||
+        kind_ == Kind::kLcf || kind_ == Kind::kAll;
+    // An explicit annotation or a non-default options model stamps the
+    // report; only a genuinely non-default model leaves the paper's
+    // integer paths (an explicit @bitflip makes identical decisions there).
+    const bool model_aware = reliability_kind && !model.is_default();
+    if (reliability_kind && (fault_model().has_value() || !model.is_default()))
+      design.fault_model_label = model.canonical();
     switch (kind_) {
       case Kind::kConventional:
         // All DCs stay with the downstream minimizer (the baseline).
@@ -159,21 +281,41 @@ class AssignPass final : public Pass {
       // of them evaluate their metrics on the input specification, so the
       // tables stay valid however often the pass re-runs.
       case Kind::kRanking:
-        result = ranking_assign(working, param_, design.spec_neighbors());
+        result = model_aware
+                     ? model_ranking_assign(working, design.spec(), param_,
+                                            design.spec_neighbors(),
+                                            design.fault_model(model))
+                     : ranking_assign(working, param_,
+                                      design.spec_neighbors());
         policy = "ranking_fraction";
         break;
       case Kind::kRankingInc:
-        result = ranking_assign_incremental(working, param_,
-                                            design.spec_neighbors());
+        // Incremental neighbor-count maintenance is a bitflip(1)-specific
+        // optimization; any other model falls back to the static
+        // model-aware ranking (same decisions, non-incremental cost).
+        result = model_aware
+                     ? model_ranking_assign(working, design.spec(), param_,
+                                            design.spec_neighbors(),
+                                            design.fault_model(model))
+                     : ranking_assign_incremental(working, param_,
+                                                  design.spec_neighbors());
         policy = "ranking_incremental";
         break;
       case Kind::kLcf:
-        result = lcf_assign(working, param_, balanced_,
-                            design.spec_neighbors());
+        result = model_aware
+                     ? model_lcf_assign(working, design.spec(), param_,
+                                        balanced_, design.spec_neighbors(),
+                                        design.fault_model(model))
+                     : lcf_assign(working, param_, balanced_,
+                                  design.spec_neighbors());
         policy = "lcf_threshold";
         break;
       case Kind::kAll:
-        result = ranking_assign(working, 1.0, design.spec_neighbors());
+        result = model_aware
+                     ? model_ranking_assign(working, design.spec(), 1.0,
+                                            design.spec_neighbors(),
+                                            design.fault_model(model))
+                     : ranking_assign(working, 1.0, design.spec_neighbors());
         policy = "all_reliability";
         break;
       case Kind::kZero:
@@ -416,10 +558,16 @@ constexpr std::uint64_t kDefaultErrorRateSamples = 1000000;
 
 /// Shared sampled-estimator body: seeded from FlowOptions::sample_seed so
 /// the report is byte-deterministic for a fixed (spec, pipeline, seed).
-void run_sampled_error_rate(Design& design, std::uint64_t samples) {
+/// `model` null selects the default bitflip(1) estimator (the pre-§16 code
+/// path, kept verbatim so default reports stay byte-identical).
+void run_sampled_error_rate(Design& design, std::uint64_t samples,
+                            const reliability::FaultModel* model = nullptr) {
   Rng rng(design.options().sample_seed);
   const SampledRate estimate =
-      sampled_error_rate_ci(design.working(), design.spec(), 1, samples, rng);
+      model != nullptr
+          ? model->sampled_rate(design.working(), design.spec(), samples, rng)
+          : sampled_error_rate_ci(design.working(), design.spec(), 1, samples,
+                                  rng);
   design.error_rate = estimate.rate;
   design.estimator.sampled = true;
   design.estimator.ci_low = estimate.ci_low;
@@ -432,11 +580,35 @@ class ErrorRatePass final : public Pass {
   const char* name() const override { return "error_rate"; }
   const char* phase() const override { return "error_rate"; }
 
+  std::string spec() const override {
+    return std::string(name()) + model_suffix();
+  }
+
+  exec::Status set_fault_model(
+      const reliability::FaultModelSpec& model) override {
+    return accept_fault_model(model);
+  }
+
   exec::Status run(Design& design) override {
     // The covers pass is what completes the working spec, which doubles as
     // the implementation the exact rate is measured on.
     if (exec::Status s = design.require(Artifact::kCovers, name()); !s.ok())
       return s;
+    const reliability::FaultModelSpec& model = effective_fault_model(design);
+    if (fault_model().has_value() || !model.is_default())
+      design.fault_model_label = model.canonical();
+    if (!model.is_default()) {
+      const reliability::FaultModel& analyzer = design.fault_model(model);
+      if (design.spec().num_inputs() > kExactErrorRateInputLimit) {
+        run_sampled_error_rate(design, kDefaultErrorRateSamples, &analyzer);
+      } else {
+        design.error_rate =
+            analyzer.error_rate(design.working(), design.spec());
+        design.estimator = {};
+      }
+      design.produced(Artifact::kErrorRate);
+      return {};
+    }
     if (design.spec().num_inputs() > kExactErrorRateInputLimit) {
       run_sampled_error_rate(design, kDefaultErrorRateSamples);
       design.produced(Artifact::kErrorRate);
@@ -461,14 +633,26 @@ class ErrorRateSampledPass final : public Pass {
   const char* phase() const override { return "error_rate"; }
 
   std::string spec() const override {
-    if (samples_ == kDefaultErrorRateSamples) return name();
-    return std::string(name()) + "(" + std::to_string(samples_) + ")";
+    if (samples_ == kDefaultErrorRateSamples)
+      return std::string(name()) + model_suffix();
+    return std::string(name()) + "(" + std::to_string(samples_) + ")" +
+           model_suffix();
+  }
+
+  exec::Status set_fault_model(
+      const reliability::FaultModelSpec& model) override {
+    return accept_fault_model(model);
   }
 
   exec::Status run(Design& design) override {
     if (exec::Status s = design.require(Artifact::kCovers, name()); !s.ok())
       return s;
-    run_sampled_error_rate(design, samples_);
+    const reliability::FaultModelSpec& model = effective_fault_model(design);
+    if (fault_model().has_value() || !model.is_default())
+      design.fault_model_label = model.canonical();
+    run_sampled_error_rate(
+        design, samples_,
+        model.is_default() ? nullptr : &design.fault_model(model));
     design.produced(Artifact::kErrorRate);
     return {};
   }

@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -31,6 +33,7 @@
 #include "pla/cover.hpp"
 #include "reliability/assignment.hpp"
 #include "reliability/error_tracker.hpp"
+#include "reliability/fault_model.hpp"
 #include "sop/factor.hpp"
 #include "tt/incomplete_spec.hpp"
 #include "tt/neighbor_stats.hpp"
@@ -110,6 +113,13 @@ class Design {
   /// Stable policy literal for report metrics ("ranking_fraction", ...).
   const char* policy = "";
 
+  /// Canonical name of the fault model the run's reliability passes used,
+  /// for the report's "fault_model" metric. Left empty on the pure default
+  /// path (no annotation, default options model) so pre-§16 reports stay
+  /// byte-identical; set whenever a pass was annotated or the options
+  /// select a non-default model.
+  std::string fault_model_label;
+
   /// Effort dial for the `espresso` pass; run_flow's degradation ladder
   /// lowers it (max_iterations = 0) on its heuristic rung.
   EspressoOptions espresso;
@@ -149,6 +159,11 @@ class Design {
   /// changed since the previous evaluation (DESIGN.md §12).
   ErrorRateTracker& error_tracker();
 
+  /// Analyzer for `model`, built on first use and cached by spec value, so
+  /// repeated passes under the same annotation share one instance.
+  const reliability::FaultModel& fault_model(
+      const reliability::FaultModelSpec& model);
+
  private:
   static unsigned bit(Artifact artifact) {
     return 1u << static_cast<unsigned>(artifact);
@@ -165,6 +180,9 @@ class Design {
   std::vector<NeighborTable> spec_neighbors_;
   bool spec_neighbors_built_ = false;
   ErrorRateTracker error_tracker_;  ///< unbound until first error_tracker()
+  std::vector<std::pair<reliability::FaultModelSpec,
+                        std::unique_ptr<reliability::FaultModel>>>
+      fault_models_;
 };
 
 /// One composable unit of flow work.
@@ -191,10 +209,44 @@ class Pass {
   virtual const char* phase() const = 0;
 
   /// Canonical spec fragment that re-creates this pass, arguments included
-  /// ("assign:lcf(0.55,balanced)"). parse_pipeline(spec()) round-trips.
+  /// ("assign:lcf(0.55,balanced)", "assign:ranking(0.5)@stuckat").
+  /// parse_pipeline(spec()) round-trips.
   virtual std::string spec() const { return name(); }
 
   virtual exec::Status run(Design& design) = 0;
+
+  /// Attaches a grammar-level `@model` annotation. The default rejects —
+  /// only reliability-aware passes (assign:* policies, error_rate*)
+  /// override via accept_fault_model. kInvalidArgument messages are
+  /// offset-free; the parser prefixes the byte offset of the '@'.
+  virtual exec::Status set_fault_model(const reliability::FaultModelSpec&);
+
+  /// The attached annotation, if any.
+  const std::optional<reliability::FaultModelSpec>& fault_model() const {
+    return fault_model_;
+  }
+
+ protected:
+  /// Implementation for accepting passes' set_fault_model overrides.
+  exec::Status accept_fault_model(const reliability::FaultModelSpec& model) {
+    fault_model_ = model;
+    return {};
+  }
+
+  /// Canonical "@model" suffix for spec() ("" when unannotated).
+  std::string model_suffix() const {
+    return fault_model_ ? "@" + fault_model_->canonical() : std::string();
+  }
+
+  /// The model this pass should analyze against: the annotation when
+  /// present, the Design-wide option otherwise.
+  const reliability::FaultModelSpec& effective_fault_model(
+      const Design& design) const {
+    return fault_model_ ? *fault_model_ : design.options().fault_model;
+  }
+
+ private:
+  std::optional<reliability::FaultModelSpec> fault_model_;
 };
 
 /// Creates a pass from a spec-grammar name and argument list. Returns

@@ -50,6 +50,11 @@ void stamp_result_metrics(Design& design) {
       metrics.set("error_rate_samples", design.estimator.samples);
     }
   }
+  // Fault-model provenance only when a reliability pass was annotated or
+  // the options selected a non-default model (DESIGN.md §16): pure-default
+  // runs keep the pre-existing report schema byte-for-byte.
+  if (!design.fault_model_label.empty())
+    metrics.set("fault_model", design.fault_model_label);
 }
 
 }  // namespace
@@ -221,6 +226,58 @@ exec::Result<Pipeline> parse_pipeline(std::string_view spec) {
     std::unique_ptr<Pass> pass;
     if (exec::Status status = make_pass(name, args, pass); !status.ok())
       return parse_error(status.message(), name_begin);
+
+    // optional @model fault-model annotation (reliability passes only)
+    skip_ws();
+    if (at < spec.size() && spec[at] == '@') {
+      const std::size_t at_sign = at;
+      ++at;
+      skip_ws();
+      const std::size_t model_begin = at;
+      while (at < spec.size() && is_name_char(spec[at])) ++at;
+      if (at == model_begin)
+        return parse_error("expected a fault model name after '@'",
+                           model_begin);
+      const std::string model_name(
+          spec.substr(model_begin, at - model_begin));
+      std::vector<std::string> model_args;
+      skip_ws();
+      if (at < spec.size() && spec[at] == '(') {
+        const std::size_t open_at = at;
+        ++at;
+        while (true) {
+          skip_ws();
+          const std::size_t arg_begin = at;
+          while (at < spec.size() && spec[at] != ',' && spec[at] != ')' &&
+                 spec[at] != '|' && spec[at] != '(')
+            ++at;
+          if (at == spec.size() || spec[at] == '|' || spec[at] == '(')
+            return parse_error("unclosed '('", open_at);
+          std::string arg(spec.substr(arg_begin, at - arg_begin));
+          while (!arg.empty() &&
+                 std::isspace(static_cast<unsigned char>(arg.back())) != 0)
+            arg.pop_back();
+          if (arg.empty())
+            return parse_error(
+                "empty argument for fault model '" + model_name + "'",
+                arg_begin);
+          model_args.push_back(std::move(arg));
+          if (spec[at] == ')') {
+            ++at;
+            break;
+          }
+          ++at;  // ','
+        }
+      }
+      reliability::FaultModelSpec model;
+      if (exec::Status status =
+              reliability::FaultModelSpec::parse(model_name, model_args,
+                                                 model);
+          !status.ok())
+        return parse_error(status.message(), model_begin);
+      if (exec::Status status = pass->set_fault_model(model); !status.ok())
+        return parse_error(status.message(), at_sign);
+    }
     pipeline.append(std::move(pass));
 
     skip_ws();
@@ -239,24 +296,34 @@ exec::Result<Pipeline> parse_pipeline(std::string_view spec) {
 // --- canonical flow specs -------------------------------------------------
 
 std::string canonical_flow_spec(DcPolicy policy, const FlowOptions& options) {
+  // A non-default fault model becomes an explicit annotation on the passes
+  // that consult it — the reliability assignment (conventional rejects
+  // annotations and consults no model) and the trailing error_rate — so
+  // the canonical spec alone reproduces the run, and serve-cache keys
+  // (keyed on the canonical pipeline) separate per model.
+  const std::string model_suffix =
+      options.fault_model.is_default()
+          ? std::string()
+          : "@" + options.fault_model.canonical();
   std::string spec;
   switch (policy) {
     case DcPolicy::kConventional:
       spec = "assign:conventional";
       break;
     case DcPolicy::kRankingFraction:
-      spec = "assign:ranking(" + format_double(options.ranking_fraction) + ")";
+      spec = "assign:ranking(" + format_double(options.ranking_fraction) +
+             ")" + model_suffix;
       break;
     case DcPolicy::kRankingIncremental:
-      spec =
-          "assign:ranking_inc(" + format_double(options.ranking_fraction) + ")";
+      spec = "assign:ranking_inc(" + format_double(options.ranking_fraction) +
+             ")" + model_suffix;
       break;
     case DcPolicy::kLcfThreshold:
       spec = "assign:lcf(" + format_double(options.lcf_threshold) +
-             (options.lcf_assign_balanced ? ",balanced)" : ")");
+             (options.lcf_assign_balanced ? ",balanced)" : ")") + model_suffix;
       break;
     case DcPolicy::kAllReliability:
-      spec = "assign:all";
+      spec = "assign:all" + model_suffix;
       break;
   }
   spec += " | espresso | ";
@@ -266,6 +333,7 @@ std::string canonical_flow_spec(DcPolicy policy, const FlowOptions& options) {
   spec += options.objective == OptimizeFor::kDelay ? " | map:delay"
                                                    : " | map:power";
   spec += " | analyze | error_rate";
+  spec += model_suffix;
   return spec;
 }
 

@@ -28,7 +28,17 @@ const char* policy_name(DcPolicy policy) {
 /// actually reads are checked, so e.g. a garbage lcf_threshold cannot fail
 /// a conventional run. The negated comparisons are deliberate — they also
 /// reject NaN.
-exec::Status validate_options(DcPolicy policy, const FlowOptions& options) {
+exec::Status validate_options(DcPolicy policy, const FlowOptions& options,
+                              unsigned num_inputs) {
+  // Weighted fault models carry per-pin weights; a count mismatch with the
+  // spec would otherwise surface as a mid-pipeline throw.
+  if (options.fault_model.kind() ==
+          reliability::FaultModelKind::kBitflipWeighted &&
+      options.fault_model.weights().size() != num_inputs)
+    return exec::Status(exec::StatusCode::kInvalidArgument,
+                        "fault_model bitflip_weighted needs " +
+                            std::to_string(num_inputs) + " weights, got " +
+                            std::to_string(options.fault_model.weights().size()));
   switch (policy) {
     case DcPolicy::kRankingFraction:
     case DcPolicy::kRankingIncremental:
@@ -147,7 +157,8 @@ FlowResult run_flow(const IncompleteSpec& spec, DcPolicy policy,
   RDC_SPAN("flow.run");
   // Reject out-of-range policy knobs before any work happens; a typo'd
   // fraction is a caller bug, not something to degrade around.
-  if (exec::Status invalid = validate_options(policy, options);
+  if (exec::Status invalid =
+          validate_options(policy, options, spec.num_inputs());
       !invalid.ok()) {
     FlowResult partial = make_partial(spec);
     partial.status = std::move(invalid.with_context("flow"));

@@ -18,6 +18,7 @@
 #include "mapper/tree_map.hpp"
 #include "obs/report.hpp"
 #include "reliability/assignment.hpp"
+#include "reliability/fault_model.hpp"
 #include "tt/incomplete_spec.hpp"
 
 namespace rdc {
@@ -80,6 +81,12 @@ struct FlowOptions {
   /// re-seeds from this value, so sampled reports are byte-deterministic
   /// for a fixed (spec, pipeline, seed) triple regardless of thread count.
   std::uint64_t sample_seed = 0x9e3779b97f4a7c15ull;
+  /// Fault scenario the reliability passes optimize and analyze against
+  /// (DESIGN.md §16). The default, bitflip(1), is the paper's model and
+  /// keeps every pre-FaultModel code path — SIMD kernels, incremental
+  /// tracker, fingerprints, report bytes — exactly as before. A per-pass
+  /// `@model` annotation in a pipeline spec overrides this per pass.
+  reliability::FaultModelSpec fault_model;
 };
 
 struct FlowResult {

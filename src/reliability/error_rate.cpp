@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -31,6 +32,8 @@ double check_pin_weights(std::span<const double> pin_weights, unsigned n,
                                 ": weight count mismatch");
   double total_weight = 0.0;
   for (const double w : pin_weights) {
+    if (!std::isfinite(w))
+      throw std::invalid_argument(std::string(where) + ": non-finite weight");
     if (w < 0.0)
       throw std::invalid_argument(std::string(where) + ": negative weight");
     total_weight += w;

@@ -1,0 +1,214 @@
+// Pluggable fault models behind one interface (DESIGN.md §16).
+//
+// The paper's error model — a single input-bit flip on a care minterm — is
+// one point in a family of fault scenarios. A FaultModel encapsulates one
+// scenario end to end: the exact error rate of an implementation against a
+// specification, a brute-force scalar reference for differential testing, a
+// sampled estimator with a 95% confidence interval, and the per-minterm
+// propagating-event masses that drive model-aware DC assignment.
+//
+// Concrete models:
+//  * bitflip(k)            — k simultaneous input-bit flips, uniform over
+//                            pins; k = 1 is the paper's default and keeps
+//                            the SIMD kernels and the incremental
+//                            ErrorRateTracker on their bit-identical paths.
+//  * bitflip_weighted(w..) — single flips with non-uniform per-pin weights
+//                            (exact_error_rate_weighted semantics).
+//  * stuckat               — stuck-at-0/1 input-pin faults. A fault (j, v)
+//                            reads every input with bit j == !v as its pin-j
+//                            neighbor; its exposure probability is the
+//                            fraction of care vectors in that halfspace on
+//                            which the implementation differs across pin j,
+//                            and the rate is the mean over all 2n faults.
+//                            The halfspace normalization is what makes the
+//                            model diverge from bitflip on pin-asymmetric
+//                            care sets (i.e. whenever DCs matter at all).
+//
+// A FaultModelSpec is the value-semantics description (parsed from the
+// pipeline grammar's `@model` suffix, fingerprinted into cache/journal
+// keys); make_fault_model() turns it into the analyzer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/status.hpp"
+#include "reliability/sampling.hpp"
+#include "tt/incomplete_spec.hpp"
+#include "tt/neighbor_stats.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc::reliability {
+
+enum class FaultModelKind : std::uint8_t {
+  kBitflip = 0,          ///< k-bit input flips (paper default at k = 1)
+  kBitflipWeighted = 1,  ///< single flips, per-pin weights
+  kStuckAt = 2,          ///< stuck-at-0/1 input-pin faults
+};
+
+/// Stable lower-case kind name ("bitflip", "bitflip_weighted", "stuckat").
+const char* fault_model_kind_name(FaultModelKind kind);
+
+/// Value-semantics description of a fault model. Default-constructed it is
+/// the paper's model, bitflip(1); is_default() gates every compatibility
+/// path (old fingerprints, golden reports, SIMD/tracker fast paths).
+class FaultModelSpec {
+ public:
+  /// The paper's default: single-bit flips, uniform over pins.
+  FaultModelSpec() = default;
+
+  static FaultModelSpec bitflip(unsigned k = 1);
+  static FaultModelSpec bitflip_weighted(std::vector<double> weights);
+  static FaultModelSpec stuckat();
+
+  /// Parses a grammar-level model reference: name plus optional argument
+  /// list, e.g. ("bitflip", {"2"}) or ("bitflip_weighted", {"1", "0.5"}).
+  /// kInvalidArgument for unknown names, bad arities or bad arguments;
+  /// `out` is left default-constructed on failure.
+  static exec::Status parse(const std::string& name,
+                            const std::vector<std::string>& args,
+                            FaultModelSpec& out);
+
+  FaultModelKind kind() const { return kind_; }
+  /// Flip multiplicity (kBitflip only; 1 otherwise).
+  unsigned k() const { return k_; }
+  /// Per-pin weights (kBitflipWeighted only; empty otherwise).
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// True iff this is the paper's model, bitflip(1). The default model
+  /// keeps pre-refactor behavior byte-for-byte: old fingerprints, golden
+  /// reports without a "fault_model" key, the incremental tracker path.
+  bool is_default() const {
+    return kind_ == FaultModelKind::kBitflip && k_ == 1;
+  }
+
+  /// Canonical grammar form: "bitflip", "bitflip(2)",
+  /// "bitflip_weighted(1,0.5)", "stuckat". parse() round-trips it and the
+  /// rendering is a fixed point (canonical forms re-render identically).
+  std::string canonical() const;
+
+  /// FNV-1a digest of the model identity, mixed into
+  /// flow_options_fingerprint for non-default models so serve-cache and
+  /// batch-journal keys never alias across models.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const FaultModelSpec& other) const = default;
+
+ private:
+  FaultModelKind kind_ = FaultModelKind::kBitflip;
+  unsigned k_ = 1;
+  std::vector<double> weights_;
+};
+
+/// Registered model names, in grammar order (usage text, fuzz dictionary).
+std::vector<std::string> fault_model_names();
+
+/// Propagating-event mass a DC minterm would add under each assignment
+/// phase. Model-aware ranking assigns to the phase with the smaller mass
+/// and ranks candidates by |if_on - if_off| (the paper's majority weight
+/// generalized beyond neighbor counts).
+struct MintermEvents {
+  double if_on = 0.0;   ///< event mass added if the DC joins the on-set
+  double if_off = 0.0;  ///< event mass added if the DC joins the off-set
+};
+
+/// One fault scenario's complete analysis surface. Implementations must be
+/// deterministic: exact rates combine integer event counts in a fixed
+/// order, so results are bit-identical across SIMD backends and thread
+/// counts (the report-byte-determinism contract).
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  const FaultModelSpec& model_spec() const { return spec_; }
+
+  /// Exact error rate of a completely specified implementation against the
+  /// care set of `spec` (word-parallel where the model allows).
+  virtual double error_rate(const TernaryTruthTable& implementation,
+                            const TernaryTruthTable& spec) const = 0;
+
+  /// Brute-force scalar reference (differential testing); bit-identical to
+  /// error_rate by construction.
+  virtual double error_rate_scalar(const TernaryTruthTable& implementation,
+                                   const TernaryTruthTable& spec) const = 0;
+
+  /// Per-DC-minterm assignment events for `spec`, in dc_minterms() order
+  /// (increasing minterm index). `neighbors` is the prebuilt table of the
+  /// same function.
+  virtual std::vector<MintermEvents> dc_assignment_events(
+      const TernaryTruthTable& spec, const NeighborTable& neighbors) const = 0;
+
+  /// Monte-Carlo estimate with a 95% CI, for inputs past the exact
+  /// enumeration limit. Draw strategy is model-specific (stratified by pin
+  /// for flips, by fault halfspace for stuck-at).
+  virtual SampledRate sampled_rate(const TernaryTruthTable& implementation,
+                                   const TernaryTruthTable& spec,
+                                   std::uint64_t samples, Rng& rng) const = 0;
+
+  /// Mean per-output exact rate of a multi-output pair.
+  double error_rate(const IncompleteSpec& implementation,
+                    const IncompleteSpec& spec) const;
+
+  /// Mean per-output sampled rate; variances combine as (1/m^2) * sum.
+  SampledRate sampled_rate(const IncompleteSpec& implementation,
+                           const IncompleteSpec& spec, std::uint64_t samples,
+                           Rng& rng) const;
+
+ protected:
+  explicit FaultModel(FaultModelSpec spec) : spec_(std::move(spec)) {}
+
+ private:
+  FaultModelSpec spec_;
+};
+
+/// Builds the analyzer for a model description.
+std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec);
+
+// --- stuck-at detectability (the inadmissible-class analysis) -------------
+
+/// Whether a stuck-at fault can ever be exposed by a care input vector.
+enum class FaultDetectability : std::uint8_t {
+  /// Some care source has a care pin-neighbor of the opposite spec value:
+  /// the fault propagates under every correct implementation.
+  kDetectable = 0,
+  /// Exposure hinges on DC assignment: every potential witness pairs a care
+  /// source with a DC neighbor, so the assignment decides testability.
+  kAssignmentDependent = 1,
+  /// No care source can expose the fault under any DC assignment — the
+  /// fault is inherently untestable.
+  kUntestable = 2,
+};
+
+const char* fault_detectability_name(FaultDetectability detectability);
+
+/// One classified stuck-at fault.
+struct StuckAtFault {
+  unsigned pin = 0;
+  bool stuck_at_one = false;  ///< false = stuck-at-0, true = stuck-at-1
+  FaultDetectability detectability = FaultDetectability::kUntestable;
+};
+
+/// Classification of all 2n stuck-at input faults of one function.
+struct DetectabilityReport {
+  /// Faults in (pin asc, stuck-at-0 before stuck-at-1) order; 2n entries.
+  std::vector<StuckAtFault> faults;
+  unsigned detectable = 0;
+  unsigned assignment_dependent = 0;
+  unsigned untestable = 0;
+
+  /// Functions with any inherently untestable stuck-at fault form the
+  /// inadmissible class: no test set can certify them fault-free.
+  bool inadmissible() const { return untestable > 0; }
+};
+
+/// Classifies every stuck-at input fault of `spec` against its care set
+/// (implementations are assumed to agree with the spec on care minterms).
+DetectabilityReport classify_stuckat_faults(const TernaryTruthTable& spec);
+
+/// Total inherently untestable stuck-at faults across all outputs.
+unsigned untestable_stuckat_faults(const IncompleteSpec& spec);
+
+}  // namespace rdc::reliability

@@ -1,0 +1,752 @@
+// Tests for the pluggable fault-model layer (DESIGN.md §16): spec parsing
+// and canonical round trips, the flow_options_fingerprint compatibility
+// contract (default model = pre-§16 bytes), each concrete model checked
+// differentially against the existing exact kernels or a brute-force
+// scalar reference, the stuck-at detectability classifier (inadmissible
+// class), pipeline '@model' annotations with byte-offset errors, and the
+// report/fingerprint stamping that keeps cache keys from aliasing.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exec/budget.hpp"
+#include "flow/batch_supervisor.hpp"
+#include "flow/pass.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/synthesis_flow.hpp"
+#include "reliability/error_rate.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/sampling.hpp"
+#include "tt/incomplete_spec.hpp"
+#include "tt/neighbor_stats.hpp"
+#include "tt/ternary_function.hpp"
+
+namespace rdc {
+namespace {
+
+using exec::StatusCode;
+using reliability::FaultDetectability;
+using reliability::FaultModel;
+using reliability::FaultModelKind;
+using reliability::FaultModelSpec;
+using reliability::MintermEvents;
+
+constexpr double kDcDensities[] = {0.0, 0.3, 0.6, 1.0};
+
+TernaryTruthTable random_ternary(unsigned n, double dc_density, Rng& rng) {
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m) {
+    if (rng.flip(dc_density))
+      f.set_phase(m, Phase::kDc);
+    else
+      f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  }
+  return f;
+}
+
+TernaryTruthTable random_complete(unsigned n, Rng& rng) {
+  TernaryTruthTable f(n);
+  for (std::uint32_t m = 0; m < f.size(); ++m)
+    f.set_phase(m, rng.flip(0.5) ? Phase::kOne : Phase::kZero);
+  return f;
+}
+
+// --- FaultModelSpec: grammar, canonical form, fingerprint -----------------
+
+TEST(FaultModelSpec, ParseAndCanonicalRoundTrip) {
+  const struct {
+    const char* name;
+    std::vector<std::string> args;
+    FaultModelSpec expected;
+    const char* canonical;
+  } cases[] = {
+      {"bitflip", {}, FaultModelSpec::bitflip(), "bitflip"},
+      // bitflip(1) canonicalizes to the bare name — a fixed point, so the
+      // fuzzer's reparse/re-render contract holds for every spelling.
+      {"bitflip", {"1"}, FaultModelSpec::bitflip(1), "bitflip"},
+      {"bitflip", {"2"}, FaultModelSpec::bitflip(2), "bitflip(2)"},
+      {"bitflip_weighted",
+       {"1", "0.5"},
+       FaultModelSpec::bitflip_weighted({1.0, 0.5}),
+       "bitflip_weighted(1,0.5)"},
+      {"stuckat", {}, FaultModelSpec::stuckat(), "stuckat"},
+  };
+  for (const auto& c : cases) {
+    FaultModelSpec parsed;
+    const exec::Status status = FaultModelSpec::parse(c.name, c.args, parsed);
+    ASSERT_TRUE(status.ok()) << c.canonical << ": " << status.message();
+    EXPECT_EQ(parsed, c.expected) << c.canonical;
+    EXPECT_EQ(parsed.canonical(), c.canonical);
+  }
+  EXPECT_TRUE(FaultModelSpec().is_default());
+  EXPECT_TRUE(FaultModelSpec::bitflip(1).is_default());
+  EXPECT_FALSE(FaultModelSpec::bitflip(2).is_default());
+  EXPECT_FALSE(FaultModelSpec::stuckat().is_default());
+  EXPECT_FALSE(FaultModelSpec::bitflip_weighted({1.0}).is_default());
+}
+
+TEST(FaultModelSpec, ParseRejectsBadReferences) {
+  const struct {
+    const char* name;
+    std::vector<std::string> args;
+    const char* fragment;
+  } cases[] = {
+      {"nosuchmodel", {}, "unknown fault model 'nosuchmodel'"},
+      {"bitflip", {"0"}, "not a flip count"},
+      {"bitflip", {"21"}, "not a flip count"},
+      {"bitflip", {"x"}, "not a flip count"},
+      {"bitflip", {"1", "2"}, "at most 1 argument"},
+      {"bitflip_weighted", {}, "needs per-pin weights"},
+      {"bitflip_weighted", {"0", "0"}, "weights sum to zero"},
+      {"bitflip_weighted", {"nan"}, "not a non-negative weight"},
+      {"bitflip_weighted", {"inf"}, "not a non-negative weight"},
+      {"bitflip_weighted", {"-1"}, "not a non-negative weight"},
+      {"stuckat", {"1"}, "takes no arguments"},
+  };
+  for (const auto& c : cases) {
+    FaultModelSpec out = FaultModelSpec::stuckat();  // must be reset
+    const exec::Status status = FaultModelSpec::parse(c.name, c.args, out);
+    ASSERT_FALSE(status.ok()) << c.name;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_NE(status.message().find(c.fragment), std::string::npos)
+        << c.name << " -> " << status.message();
+    EXPECT_EQ(out, FaultModelSpec()) << "out not reset for " << c.name;
+  }
+}
+
+TEST(FaultModelSpec, RegistryNames) {
+  const std::vector<std::string> names = reliability::fault_model_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "bitflip");
+  EXPECT_EQ(names[1], "bitflip_weighted");
+  EXPECT_EQ(names[2], "stuckat");
+  EXPECT_STREQ(reliability::fault_model_kind_name(FaultModelKind::kBitflip),
+               "bitflip");
+  EXPECT_STREQ(
+      reliability::fault_model_kind_name(FaultModelKind::kBitflipWeighted),
+      "bitflip_weighted");
+  EXPECT_STREQ(reliability::fault_model_kind_name(FaultModelKind::kStuckAt),
+               "stuckat");
+}
+
+TEST(FaultModelSpec, FingerprintsSeparateModels) {
+  const FaultModelSpec specs[] = {
+      FaultModelSpec(),
+      FaultModelSpec::bitflip(2),
+      FaultModelSpec::bitflip(3),
+      FaultModelSpec::bitflip_weighted({1.0, 0.5}),
+      FaultModelSpec::bitflip_weighted({0.5, 1.0}),
+      FaultModelSpec::stuckat(),
+  };
+  for (std::size_t i = 0; i < std::size(specs); ++i)
+    for (std::size_t j = i + 1; j < std::size(specs); ++j)
+      EXPECT_NE(specs[i].fingerprint(), specs[j].fingerprint())
+          << specs[i].canonical() << " vs " << specs[j].canonical();
+  EXPECT_EQ(FaultModelSpec::stuckat().fingerprint(),
+            FaultModelSpec::stuckat().fingerprint());
+  EXPECT_EQ(FaultModelSpec::bitflip(1).fingerprint(),
+            FaultModelSpec().fingerprint());
+}
+
+// --- flow_options_fingerprint compatibility -------------------------------
+
+// The pre-§16 fingerprint, replicated field by field. If a knob is ever
+// added to FlowOptions without updating this mirror the test fails loudly,
+// which is exactly the review prompt we want: old fingerprints key warm
+// serve caches and resumable journals, so changing them silently is a bug.
+std::uint64_t legacy_fingerprint(const FlowOptions& options,
+                                 const exec::BudgetLimits& budget) {
+  const auto fnv1a = [](const void* data, std::size_t size,
+                        std::uint64_t hash) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 0x100000001b3ull;
+    }
+    return hash;
+  };
+  const auto mix_u64 = [&](std::uint64_t hash, std::uint64_t value) {
+    return fnv1a(&value, sizeof value, hash);
+  };
+  const auto mix_double = [&](std::uint64_t hash, double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return mix_u64(hash, bits);
+  };
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = mix_u64(hash, static_cast<std::uint64_t>(options.objective));
+  hash = mix_double(hash, options.ranking_fraction);
+  hash = mix_double(hash, options.lcf_threshold);
+  hash = mix_u64(hash, options.lcf_assign_balanced ? 1 : 0);
+  hash = mix_u64(hash, options.resyn_recipe ? 1 : 0);
+  hash = mix_u64(hash, options.use_extraction ? 1 : 0);
+  hash = mix_u64(hash, options.sample_seed);
+  hash = mix_double(hash, budget.deadline_ms);
+  hash = mix_u64(hash, budget.max_checkpoints);
+  hash = mix_u64(hash, budget.max_rss_bytes);
+  return hash;
+}
+
+TEST(FlowFingerprint, DefaultModelPreservesPreRefactorBytes) {
+  FlowOptions options;
+  exec::BudgetLimits budget;
+  EXPECT_EQ(flow::flow_options_fingerprint(options, budget),
+            legacy_fingerprint(options, budget));
+
+  options.objective = OptimizeFor::kDelay;
+  options.ranking_fraction = 0.75;
+  options.lcf_threshold = 0.6;
+  options.lcf_assign_balanced = true;
+  options.resyn_recipe = true;
+  options.use_extraction = true;
+  options.sample_seed = 42;
+  budget.deadline_ms = 1500.0;
+  budget.max_checkpoints = 1000;
+  budget.max_rss_bytes = 1 << 20;
+  EXPECT_EQ(flow::flow_options_fingerprint(options, budget),
+            legacy_fingerprint(options, budget));
+
+  // An explicit bitflip(1) is still the default model — same bytes.
+  options.fault_model = FaultModelSpec::bitflip(1);
+  EXPECT_EQ(flow::flow_options_fingerprint(options, budget),
+            legacy_fingerprint(options, budget));
+}
+
+TEST(FlowFingerprint, NonDefaultModelsNeverAlias) {
+  FlowOptions options;
+  exec::BudgetLimits budget;
+  const std::uint64_t base = flow::flow_options_fingerprint(options, budget);
+
+  std::vector<std::uint64_t> prints{base};
+  for (const FaultModelSpec& model :
+       {FaultModelSpec::bitflip(2), FaultModelSpec::stuckat(),
+        FaultModelSpec::bitflip_weighted({1.0, 0.5, 0.25, 0.125})}) {
+    options.fault_model = model;
+    prints.push_back(flow::flow_options_fingerprint(options, budget));
+  }
+  for (std::size_t i = 0; i < prints.size(); ++i)
+    for (std::size_t j = i + 1; j < prints.size(); ++j)
+      EXPECT_NE(prints[i], prints[j]) << i << " vs " << j;
+}
+
+// --- bitflip model vs the existing exact kernels --------------------------
+
+TEST(BitflipModel, MatchesExactKernels) {
+  const auto model = reliability::make_fault_model(FaultModelSpec::bitflip(1));
+  const auto model2 = reliability::make_fault_model(FaultModelSpec::bitflip(2));
+  Rng rng(9001);
+  for (unsigned n = 1; n <= 10; ++n) {
+    for (const double density : kDcDensities) {
+      const TernaryTruthTable spec = random_ternary(n, density, rng);
+      const TernaryTruthTable impl = random_complete(n, rng);
+      EXPECT_EQ(model->error_rate(impl, spec), exact_error_rate(impl, spec))
+          << "n=" << n << " dc=" << density;
+      EXPECT_EQ(model->error_rate_scalar(impl, spec),
+                exact_error_rate_scalar(impl, spec))
+          << "n=" << n << " dc=" << density;
+      if (n >= 2) {
+        EXPECT_EQ(model2->error_rate(impl, spec),
+                  exact_error_rate_kbit(impl, spec, 2))
+            << "n=" << n << " dc=" << density;
+        EXPECT_EQ(model2->error_rate_scalar(impl, spec),
+                  exact_error_rate_kbit_scalar(impl, spec, 2))
+            << "n=" << n << " dc=" << density;
+      }
+    }
+  }
+}
+
+TEST(BitflipModel, EventsMatchNeighborCounts) {
+  const auto model = reliability::make_fault_model(FaultModelSpec::bitflip(1));
+  Rng rng(9002);
+  for (unsigned n = 1; n <= 8; ++n) {
+    const TernaryTruthTable spec = random_ternary(n, 0.5, rng);
+    const NeighborTable neighbors(spec);
+    const std::vector<MintermEvents> events =
+        model->dc_assignment_events(spec, neighbors);
+    const std::vector<std::uint32_t> dcs = spec.dc_minterms();
+    ASSERT_EQ(events.size(), dcs.size()) << "n=" << n;
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      const NeighborCounts c = neighbors.at(dcs[i]);
+      // Joining the on-set creates an event per off-neighbor and vice
+      // versa — exactly the paper's majority-vote quantities.
+      EXPECT_EQ(events[i].if_on, static_cast<double>(c.off)) << "n=" << n;
+      EXPECT_EQ(events[i].if_off, static_cast<double>(c.on)) << "n=" << n;
+    }
+  }
+}
+
+// --- weighted model: differential + degenerate weights --------------------
+
+TEST(WeightedModel, MatchesExactWeightedKernels) {
+  Rng rng(9003);
+  for (unsigned n = 1; n <= 10; ++n) {
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.uniform() * 2.0;
+    weights[0] += 0.01;  // keep the sum positive even if all draws are tiny
+    const auto model = reliability::make_fault_model(
+        FaultModelSpec::bitflip_weighted(weights));
+    for (const double density : kDcDensities) {
+      const TernaryTruthTable spec = random_ternary(n, density, rng);
+      const TernaryTruthTable impl = random_complete(n, rng);
+      EXPECT_EQ(model->error_rate(impl, spec),
+                exact_error_rate_weighted(impl, spec, weights))
+          << "n=" << n << " dc=" << density;
+      EXPECT_EQ(model->error_rate_scalar(impl, spec),
+                exact_error_rate_weighted_scalar(impl, spec, weights))
+          << "n=" << n << " dc=" << density;
+    }
+  }
+}
+
+TEST(WeightedModel, SinglePinWeightIsolatesThatPin) {
+  // All the event mass on pin j: the weighted rate must equal the
+  // unweighted rate restricted to pin-j flips, for every pin.
+  Rng rng(9004);
+  const unsigned n = 6;
+  const TernaryTruthTable spec = random_ternary(n, 0.4, rng);
+  const TernaryTruthTable impl = random_complete(n, rng);
+  for (unsigned j = 0; j < n; ++j) {
+    std::vector<double> weights(n, 0.0);
+    weights[j] = 1.0;
+    // Brute-force reference: propagating pin-j events over care sources,
+    // normalized by the 2^n sources of the single unit-weight pin.
+    double propagating = 0.0;
+    for (std::uint32_t m = 0; m < spec.size(); ++m) {
+      if (!spec.is_care(m)) continue;
+      if (impl.is_on(m) != impl.is_on(flip_bit(m, j))) propagating += 1.0;
+    }
+    const double expected = propagating / spec.size();
+    EXPECT_DOUBLE_EQ(exact_error_rate_weighted(impl, spec, weights), expected)
+        << "pin " << j;
+  }
+}
+
+TEST(WeightedModel, DegenerateWeightsAreRejected) {
+  Rng rng(9005);
+  const TernaryTruthTable spec = random_ternary(4, 0.4, rng);
+  const TernaryTruthTable impl = random_complete(4, rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  const std::vector<double> all_zero(4, 0.0);
+  const std::vector<double> has_nan{1.0, nan, 1.0, 1.0};
+  const std::vector<double> has_inf{1.0, 1.0, inf, 1.0};
+  const std::vector<double> negative{1.0, -0.5, 1.0, 1.0};
+  for (const auto& weights : {all_zero, has_nan, has_inf, negative}) {
+    EXPECT_THROW(exact_error_rate_weighted(impl, spec, weights),
+                 std::invalid_argument);
+    EXPECT_THROW(exact_error_rate_weighted_scalar(impl, spec, weights),
+                 std::invalid_argument);
+    const auto model = reliability::make_fault_model(
+        FaultModelSpec::bitflip_weighted(weights));
+    EXPECT_THROW(model->error_rate(impl, spec), std::invalid_argument);
+  }
+
+  // A single positive pin among zeros is fine — degenerate but valid.
+  const std::vector<double> single{0.0, 0.0, 1.0, 0.0};
+  const auto model =
+      reliability::make_fault_model(FaultModelSpec::bitflip_weighted(single));
+  EXPECT_EQ(model->error_rate(impl, spec),
+            exact_error_rate_weighted(impl, spec, single));
+}
+
+// --- stuck-at model: brute force, hand cases, word/scalar identity --------
+
+TEST(StuckAtModel, WordParallelMatchesScalarReference) {
+  const auto model = reliability::make_fault_model(FaultModelSpec::stuckat());
+  Rng rng(9006);
+  for (unsigned n = 1; n <= 12; ++n) {
+    for (const double density : kDcDensities) {
+      const TernaryTruthTable spec = random_ternary(n, density, rng);
+      const TernaryTruthTable impl = random_complete(n, rng);
+      EXPECT_EQ(model->error_rate(impl, spec),
+                model->error_rate_scalar(impl, spec))
+          << "n=" << n << " dc=" << density;
+    }
+  }
+}
+
+TEST(StuckAtModel, HandComputedRates) {
+  const auto model = reliability::make_fault_model(FaultModelSpec::stuckat());
+
+  // Identity on one input: both stuck-at faults always propagate.
+  TernaryTruthTable identity(1);
+  identity.set_phase(1, Phase::kOne);
+  EXPECT_DOUBLE_EQ(model->error_rate(identity, identity), 1.0);
+
+  // Constant functions mask every stuck-at fault.
+  const TernaryTruthTable zero(2);
+  EXPECT_DOUBLE_EQ(model->error_rate(zero, zero), 0.0);
+
+  // AND on two inputs: each of the four faults is exposed by one of the
+  // two care sources in its halfspace, so each contributes 1/2 and the
+  // rate is 4 * (1/2) / (2 * 2) = 0.5.
+  TernaryTruthTable and2(2);
+  and2.set_phase(3, Phase::kOne);
+  EXPECT_DOUBLE_EQ(model->error_rate(and2, and2), 0.5);
+
+  // Pin-asymmetric care set: spec cares on {00, 01, 10}, minterm 11 is DC
+  // and the implementation drives it to 0; impl = {0, 1, 0, 0}. Halfspace
+  // normalization makes stuck-at genuinely different from bit flips here:
+  // bitflip rate = 3 propagating events / (2 * 4) = 0.375, stuck-at rate
+  // = (1/1 + 1/2 + 0 + 1/2) / (2 * 2) = 0.5.
+  TernaryTruthTable spec(2);
+  spec.set_phase(1, Phase::kOne);
+  spec.set_phase(3, Phase::kDc);
+  TernaryTruthTable impl(2);
+  impl.set_phase(1, Phase::kOne);
+  EXPECT_DOUBLE_EQ(exact_error_rate(impl, spec), 0.375);
+  EXPECT_DOUBLE_EQ(model->error_rate(impl, spec), 0.5);
+}
+
+TEST(StuckAtModel, EventsBruteForceAtSmallN) {
+  // dc_assignment_events against a direct enumeration: assigning the DC to
+  // a phase adds, for each fault (j, v), the 1/C_j(bit_j) exposure mass of
+  // every new propagating (source, fault) pair the assignment creates
+  // among care sources reading across to the opposite phase.
+  const auto model = reliability::make_fault_model(FaultModelSpec::stuckat());
+  Rng rng(9007);
+  for (unsigned n = 2; n <= 6; ++n) {
+    const TernaryTruthTable spec = random_ternary(n, 0.5, rng);
+    const NeighborTable neighbors(spec);
+    const std::vector<std::uint32_t> dcs = spec.dc_minterms();
+    const std::vector<MintermEvents> events =
+        model->dc_assignment_events(spec, neighbors);
+    ASSERT_EQ(events.size(), dcs.size());
+    for (std::size_t i = 0; i < dcs.size(); ++i) {
+      const std::uint32_t m = dcs[i];
+      double if_on = 0.0;
+      double if_off = 0.0;
+      for (unsigned j = 0; j < n; ++j) {
+        const std::uint32_t source = flip_bit(m, j);
+        if (!spec.is_care(source)) continue;
+        // The fault stuck-at-bit_j(m) reads `source` as m; its exposure is
+        // normalized by the care population of the source's halfspace.
+        double care_sources = 0.0;
+        for (std::uint32_t x = 0; x < spec.size(); ++x)
+          if (spec.is_care(x) && ((x >> j) & 1u) == ((source >> j) & 1u))
+            care_sources += 1.0;
+        if (spec.is_on(source)) if_off += 1.0 / care_sources;
+        if (spec.is_off(source)) if_on += 1.0 / care_sources;
+      }
+      EXPECT_DOUBLE_EQ(events[i].if_on, if_on) << "n=" << n << " m=" << m;
+      EXPECT_DOUBLE_EQ(events[i].if_off, if_off) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(StuckAtModel, SampledCiCoversTheExactRate) {
+  const auto model = reliability::make_fault_model(FaultModelSpec::stuckat());
+  Rng make(9008);
+  for (const unsigned n : {8u, 10u}) {
+    const TernaryTruthTable spec = random_ternary(n, 0.4, make);
+    const TernaryTruthTable impl = random_complete(n, make);
+    const double exact = model->error_rate(impl, spec);
+    int covered = 0;
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+      Rng rng(seed);
+      const SampledRate r = model->sampled_rate(impl, spec, 4000, rng);
+      EXPECT_LE(0.0, r.ci_low);
+      EXPECT_LE(r.ci_low, r.ci_high);
+      EXPECT_LE(r.ci_high, 1.0);
+      if (exact >= r.ci_low && exact <= r.ci_high) ++covered;
+    }
+    EXPECT_GE(covered, 85) << "n=" << n;
+  }
+}
+
+TEST(WeightedModel, SampledCiCoversTheExactRate) {
+  Rng make(9009);
+  const unsigned n = 9;
+  std::vector<double> weights(n);
+  for (double& w : weights) w = 0.1 + make.uniform();
+  const auto model =
+      reliability::make_fault_model(FaultModelSpec::bitflip_weighted(weights));
+  const TernaryTruthTable spec = random_ternary(n, 0.4, make);
+  const TernaryTruthTable impl = random_complete(n, make);
+  const double exact = model->error_rate(impl, spec);
+  int covered = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    const SampledRate r = model->sampled_rate(impl, spec, 4000, rng);
+    if (exact >= r.ci_low && exact <= r.ci_high) ++covered;
+  }
+  EXPECT_GE(covered, 85);
+}
+
+// --- multi-output means ---------------------------------------------------
+
+TEST(FaultModel, MultiOutputRateIsThePerOutputMean) {
+  Rng rng(9010);
+  IncompleteSpec spec("s", 6, 3);
+  IncompleteSpec impl("i", 6, 3);
+  for (unsigned o = 0; o < 3; ++o) {
+    spec.output(o) = random_ternary(6, 0.4, rng);
+    impl.output(o) = random_complete(6, rng);
+  }
+  for (const FaultModelSpec& ms :
+       {FaultModelSpec::bitflip(1), FaultModelSpec::stuckat()}) {
+    const auto model = reliability::make_fault_model(ms);
+    double sum = 0.0;
+    for (unsigned o = 0; o < 3; ++o)
+      sum += model->error_rate(impl.output(o), spec.output(o));
+    EXPECT_DOUBLE_EQ(model->error_rate(impl, spec), sum / 3.0)
+        << ms.canonical();
+  }
+  IncompleteSpec wrong("w", 6, 2);
+  for (unsigned o = 0; o < 2; ++o) wrong.output(o) = random_complete(6, rng);
+  const auto model = reliability::make_fault_model(FaultModelSpec::stuckat());
+  EXPECT_THROW(model->error_rate(wrong, spec), std::invalid_argument);
+}
+
+// --- stuck-at detectability (the inadmissible class) ----------------------
+
+TEST(Detectability, ConstantFunctionsAreInadmissible) {
+  const TernaryTruthTable zero(2);
+  const reliability::DetectabilityReport report =
+      reliability::classify_stuckat_faults(zero);
+  ASSERT_EQ(report.faults.size(), 4u);
+  EXPECT_EQ(report.untestable, 4u);
+  EXPECT_EQ(report.detectable, 0u);
+  EXPECT_EQ(report.assignment_dependent, 0u);
+  EXPECT_TRUE(report.inadmissible());
+  // Fault ordering contract: pin ascending, stuck-at-0 before stuck-at-1.
+  EXPECT_EQ(report.faults[0].pin, 0u);
+  EXPECT_FALSE(report.faults[0].stuck_at_one);
+  EXPECT_EQ(report.faults[1].pin, 0u);
+  EXPECT_TRUE(report.faults[1].stuck_at_one);
+  EXPECT_EQ(report.faults[3].pin, 1u);
+}
+
+TEST(Detectability, ParityIsFullyDetectable) {
+  TernaryTruthTable parity(3);
+  for (std::uint32_t m = 0; m < parity.size(); ++m)
+    if (std::popcount(m) % 2 == 1) parity.set_phase(m, Phase::kOne);
+  const reliability::DetectabilityReport report =
+      reliability::classify_stuckat_faults(parity);
+  EXPECT_EQ(report.detectable, 6u);
+  EXPECT_EQ(report.untestable, 0u);
+  EXPECT_EQ(report.assignment_dependent, 0u);
+  EXPECT_FALSE(report.inadmissible());
+}
+
+TEST(Detectability, DcNeighborsMakeFaultsAssignmentDependent) {
+  // f(0) = 0, f(1) = DC on one input. Stuck-at-0 has no care source in
+  // the x0=1 halfspace (untestable); stuck-at-1's only witness reads the
+  // DC minterm, so the assignment decides testability.
+  TernaryTruthTable f(1);
+  f.set_phase(1, Phase::kDc);
+  const reliability::DetectabilityReport report =
+      reliability::classify_stuckat_faults(f);
+  ASSERT_EQ(report.faults.size(), 2u);
+  EXPECT_EQ(report.faults[0].detectability, FaultDetectability::kUntestable);
+  EXPECT_EQ(report.faults[1].detectability,
+            FaultDetectability::kAssignmentDependent);
+  EXPECT_EQ(report.untestable, 1u);
+  EXPECT_EQ(report.assignment_dependent, 1u);
+  EXPECT_TRUE(report.inadmissible());
+}
+
+TEST(Detectability, MultiOutputUntestableTotal) {
+  IncompleteSpec spec("s", 2, 2);
+  spec.output(0) = TernaryTruthTable(2);  // constant 0: 4 untestable
+  TernaryTruthTable xor2(2);
+  xor2.set_phase(1, Phase::kOne);
+  xor2.set_phase(2, Phase::kOne);
+  spec.output(1) = xor2;  // fully detectable
+  EXPECT_EQ(reliability::untestable_stuckat_faults(spec), 4u);
+}
+
+// --- pipeline '@model' annotations ----------------------------------------
+
+TEST(PipelineAnnotation, ErrorsCarryByteOffsets) {
+  const struct {
+    const char* spec;
+    const char* fragment;
+  } cases[] = {
+      {"assign:ranking(0.5)@", "expected a fault model name after '@' at offset 20"},
+      {"assign:ranking(0.5)@nosuchmodel",
+       "unknown fault model 'nosuchmodel' at offset 20"},
+      {"assign:ranking(0.5)@bitflip(0)", "not a flip count in [1, 20] at offset 20"},
+      {"assign:ranking(0.5)@stuckat(1)",
+       "fault model 'stuckat' takes no arguments at offset 20"},
+      {"assign:ranking(0.5)@stuckat(", "unclosed '(' at offset 27"},
+      {"assign:ranking(0.5)@stuckat()",
+       "empty argument for fault model 'stuckat' at offset 28"},
+      {"espresso@stuckat",
+       "pass 'espresso' does not accept a fault model annotation at offset 8"},
+      {"assign:conventional@stuckat",
+       "does not accept a fault model annotation at offset 19"},
+  };
+  for (const auto& c : cases) {
+    exec::Result<flow::Pipeline> result = flow::parse_pipeline(c.spec);
+    ASSERT_FALSE(result.ok()) << c.spec;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(result.status().message().find(c.fragment), std::string::npos)
+        << c.spec << " -> " << result.status().message();
+  }
+}
+
+TEST(PipelineAnnotation, RoundTripsThroughToString) {
+  const struct {
+    const char* spec;
+    const char* rendered;  ///< canonical re-rendering
+  } cases[] = {
+      {"assign:ranking(0.5)@stuckat | espresso",
+       "assign:ranking(0.5)@stuckat | espresso"},
+      {"assign:ranking(0.5) @ stuckat | espresso",
+       "assign:ranking(0.5)@stuckat | espresso"},
+      // bitflip(1) renders as the bare canonical name; the annotation is
+      // kept (it selects the label) even though behavior is the default.
+      {"assign:lcf(0.55)@bitflip(1)", "assign:lcf(0.55)@bitflip"},
+      {"error_rate@bitflip(2)", "error_rate@bitflip(2)"},
+      {"assign:all@bitflip_weighted(1, 0.5)",
+       "assign:all@bitflip_weighted(1,0.5)"},
+      {"error_rate:sampled(4096)@stuckat", "error_rate:sampled(4096)@stuckat"},
+  };
+  for (const auto& c : cases) {
+    exec::Result<flow::Pipeline> first = flow::parse_pipeline(c.spec);
+    ASSERT_TRUE(first.ok()) << c.spec << " -> " << first.status().message();
+    EXPECT_EQ(first->to_string(), c.rendered) << c.spec;
+    // Canonical forms are fixed points: reparse and re-render identically.
+    exec::Result<flow::Pipeline> second = flow::parse_pipeline(c.rendered);
+    ASSERT_TRUE(second.ok()) << c.rendered;
+    EXPECT_EQ(second->to_string(), c.rendered);
+  }
+}
+
+TEST(PipelineAnnotation, CanonicalFlowSpecCarriesNonDefaultModels) {
+  FlowOptions options;
+  const std::string plain =
+      flow::canonical_flow_spec(DcPolicy::kRankingFraction, options);
+  EXPECT_EQ(plain.find('@'), std::string::npos);
+
+  options.fault_model = FaultModelSpec::stuckat();
+  const std::string annotated =
+      flow::canonical_flow_spec(DcPolicy::kRankingFraction, options);
+  EXPECT_NE(annotated.find("assign:ranking(0.5)@stuckat"), std::string::npos)
+      << annotated;
+  EXPECT_NE(annotated.find("error_rate@stuckat"), std::string::npos)
+      << annotated;
+  // The canonical spec must reparse (that's how run_flow executes it).
+  EXPECT_TRUE(flow::parse_pipeline(annotated).ok()) << annotated;
+
+  // Conventional assignment never consults the model: only the trailing
+  // error_rate pass carries the annotation there.
+  const std::string conventional =
+      flow::canonical_flow_spec(DcPolicy::kConventional, options);
+  EXPECT_EQ(conventional.find("assign:conventional@"), std::string::npos)
+      << conventional;
+  EXPECT_NE(conventional.find("error_rate@stuckat"), std::string::npos)
+      << conventional;
+  EXPECT_TRUE(flow::parse_pipeline(conventional).ok()) << conventional;
+}
+
+// --- end-to-end flow integration ------------------------------------------
+
+IncompleteSpec flow_test_spec() {
+  Rng rng(9011);
+  IncompleteSpec spec("fmtest", 5, 2);
+  for (unsigned o = 0; o < 2; ++o)
+    spec.output(o) = random_ternary(5, 0.4, rng);
+  return spec;
+}
+
+TEST(FlowFaultModel, ReportStampsNonDefaultModels) {
+  const IncompleteSpec spec = flow_test_spec();
+
+  FlowOptions options;
+  const FlowResult plain = run_flow(spec, DcPolicy::kRankingFraction, options);
+  ASSERT_TRUE(plain.status.ok()) << plain.status.to_string();
+  EXPECT_EQ(plain.report.to_json().find("\"fault_model\""),
+            std::string::npos);
+
+  options.fault_model = FaultModelSpec::stuckat();
+  const FlowResult stuck = run_flow(spec, DcPolicy::kRankingFraction, options);
+  ASSERT_TRUE(stuck.status.ok()) << stuck.status.to_string();
+  EXPECT_NE(stuck.report.to_json().find("\"fault_model\": \"stuckat\""),
+            std::string::npos)
+      << stuck.report.to_json();
+}
+
+TEST(FlowFaultModel, WeightCountMismatchIsRejectedUpFront) {
+  const IncompleteSpec spec = flow_test_spec();  // 5 inputs
+  FlowOptions options;
+  options.fault_model = FaultModelSpec::bitflip_weighted({1.0, 0.5});
+  const FlowResult result =
+      run_flow(spec, DcPolicy::kRankingFraction, options);
+  EXPECT_EQ(result.degradation, DegradationLevel::kPartial);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status.message().find("needs 5 weights, got 2"),
+            std::string::npos)
+      << result.status.message();
+}
+
+TEST(FlowFaultModel, UniformWeightsReproduceDefaultDecisions) {
+  // bitflip_weighted with uniform weights produces the same event counts
+  // as the paper's model, so the generic (double-arithmetic) ranking path
+  // must make the very same assignment decisions as the legacy integer
+  // path — and the weighted exact rate reduces to the unweighted one.
+  const IncompleteSpec spec = flow_test_spec();
+  FlowOptions uniform;
+  uniform.fault_model =
+      FaultModelSpec::bitflip_weighted(std::vector<double>(5, 1.0));
+  const FlowResult weighted =
+      run_flow(spec, DcPolicy::kRankingFraction, uniform);
+  const FlowResult plain = run_flow(spec, DcPolicy::kRankingFraction, {});
+  ASSERT_TRUE(weighted.status.ok()) << weighted.status.to_string();
+  ASSERT_TRUE(plain.status.ok()) << plain.status.to_string();
+  for (unsigned o = 0; o < 2; ++o)
+    EXPECT_EQ(weighted.implementation.output(o), plain.implementation.output(o))
+        << "output " << o;
+  EXPECT_DOUBLE_EQ(weighted.error_rate, plain.error_rate);
+}
+
+TEST(FlowFaultModel, AnnotatedDefaultModelOnlySetsTheLabel) {
+  // An explicit @bitflip routes through the unchanged legacy kernels but
+  // still names the model in the report (and hence the canonical spec /
+  // serve-cache key).
+  const IncompleteSpec spec = flow_test_spec();
+  exec::Result<flow::Pipeline> annotated = flow::parse_pipeline(
+      "assign:ranking(0.5)@bitflip | espresso | factor | aig | map:power | "
+      "error_rate");
+  ASSERT_TRUE(annotated.ok()) << annotated.status().message();
+  flow::Design design(spec);
+  ASSERT_TRUE(annotated->run(design).ok());
+  EXPECT_EQ(design.fault_model_label, "bitflip");
+
+  exec::Result<flow::Pipeline> plain = flow::parse_pipeline(
+      "assign:ranking(0.5) | espresso | factor | aig | map:power | "
+      "error_rate");
+  ASSERT_TRUE(plain.ok());
+  flow::Design base(spec);
+  ASSERT_TRUE(plain->run(base).ok());
+  EXPECT_TRUE(base.fault_model_label.empty());
+  // Identical synthesis either way — the annotation is metadata only.
+  for (unsigned o = 0; o < 2; ++o)
+    EXPECT_EQ(design.working().output(o), base.working().output(o));
+}
+
+TEST(FlowFaultModel, DesignCachesModelInstances) {
+  const IncompleteSpec spec = flow_test_spec();
+  flow::Design design(spec);
+  const FaultModel& a = design.fault_model(FaultModelSpec::stuckat());
+  const FaultModel& b = design.fault_model(FaultModelSpec::stuckat());
+  EXPECT_EQ(&a, &b);
+  const FaultModel& c = design.fault_model(FaultModelSpec::bitflip(2));
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.model_spec().k(), 2u);
+}
+
+}  // namespace
+}  // namespace rdc

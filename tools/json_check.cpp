@@ -341,6 +341,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // rdc.flow.report.v1: the optional metrics.fault_model stamp must name a
+  // registered model ("bitflip", "bitflip(2)", "bitflip_weighted(1,0.5)",
+  // "stuckat") — a report carrying a corrupted or unknown label fails CI.
+  if (const rdc::obs::JsonValue* schema = doc->find("schema");
+      schema != nullptr && schema->is_string() &&
+      schema->string == "rdc.flow.report.v1") {
+    if (const rdc::obs::JsonValue* model =
+            lookup(*doc, "metrics.fault_model")) {
+      ++checked;
+      const std::string label = model->is_string() ? model->string : "";
+      const std::string name = label.substr(0, label.find('('));
+      if (name != "bitflip" && name != "bitflip_weighted" &&
+          name != "stuckat") {
+        std::fprintf(stderr,
+                     "rdc_json_check: %s: metrics.fault_model '%s' is not a "
+                     "known fault model\n",
+                     argv[1], label.c_str());
+        ++missing;
+      }
+    }
+  }
+
   for (int i = 2; i < argc; ++i, ++checked) {
     const std::string path = argv[i];
     if (lookup(*doc, path) == nullptr) {
